@@ -1,0 +1,31 @@
+# Communication-Optimal Convex Agreement reproduction -- dev targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report quick-report clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script; \
+		echo; \
+	done
+
+report:
+	$(PYTHON) -m repro report --scale full
+
+quick-report:
+	$(PYTHON) -m repro report --scale quick
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

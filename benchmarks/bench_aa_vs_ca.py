@@ -1,0 +1,109 @@
+"""F4 -- companion experiment: Approximate Agreement vs Convex Agreement.
+
+Section 1.1 frames CA against its classic relaxation, AA [16]: AA's
+outputs may differ by eps, and its communication grows with
+``log(range/eps)`` full-value exchange rounds (``O(l n^2)`` each), while
+CA pays a fixed ``O(l n + poly(n, kappa))`` for exact agreement.
+
+Checks: AA cost increases as eps shrinks; the AA-vs-CA cost curves
+cross; CA's spread is exactly zero while AA's measured spread respects
+(and tracks) eps.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.aa import approximate_agreement
+from repro.analysis import Measurement
+from repro.core.protocol_z import protocol_z
+from repro.sim import run_protocol
+
+from conftest import record, run_measured
+
+N, T = 7, 2
+BOUND = 1 << 24
+INPUTS = [1_000_000 * (i + 1) for i in range(N)]
+
+
+def run_aa(eps_exponent: int) -> Measurement:
+    epsilon = Fraction(2) ** eps_exponent
+    result = run_protocol(
+        lambda ctx, v: approximate_agreement(ctx, v, epsilon, BOUND),
+        INPUTS, n=N, t=T,
+    )
+    outputs = list(result.outputs.values())
+    spread = max(outputs) - min(outputs)
+    assert spread <= epsilon
+    return Measurement(
+        protocol=f"aa(eps=2^{eps_exponent})",
+        n=N,
+        t=T,
+        ell=BOUND.bit_length(),
+        kappa=128,
+        bits=result.stats.honest_bits,
+        rounds=result.stats.rounds,
+        messages=result.stats.honest_messages,
+        output=float(spread),
+    )
+
+
+def run_ca() -> Measurement:
+    result = run_protocol(
+        lambda ctx, v: protocol_z(ctx, v), INPUTS, n=N, t=T, kappa=128
+    )
+    assert len(set(result.outputs.values())) == 1
+    return Measurement(
+        protocol="pi_z",
+        n=N,
+        t=T,
+        ell=BOUND.bit_length(),
+        kappa=128,
+        bits=result.stats.honest_bits,
+        rounds=result.stats.rounds,
+        messages=result.stats.honest_messages,
+        output=0,
+    )
+
+
+@pytest.mark.parametrize("eps_exponent", [16, 8, 0, -8, -16])
+def test_aa_cost_vs_eps(benchmark, eps_exponent):
+    m = run_measured(
+        benchmark,
+        "F4",
+        f"aa eps=2^{eps_exponent}",
+        lambda: run_aa(eps_exponent),
+    )
+    assert m.bits > 0
+
+
+def test_ca_fixed_cost(benchmark):
+    m = run_measured(benchmark, "F4", "pi_z (exact)", run_ca)
+    assert m.output == 0
+
+
+def test_aa_cost_monotone_in_precision(benchmark):
+    def sweep():
+        return [run_aa(e) for e in (16, 0, -16)]
+
+    coarse, mid, fine = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert coarse.bits < mid.bits < fine.bits
+    # each halving of eps adds one full-exchange round:
+    per_octave_coarse = (mid.bits - coarse.bits) / 16
+    per_octave_fine = (fine.bits - mid.bits) / 16
+    benchmark.extra_info["bits_per_eps_halving"] = round(per_octave_fine)
+    assert per_octave_fine > 0.5 * per_octave_coarse
+
+
+def test_curves_cross(benchmark):
+    """Coarse AA is cheaper than CA; sufficiently fine AA is costlier."""
+
+    def sweep():
+        return run_ca(), run_aa(16), run_aa(-320)
+
+    ca, coarse, fine = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("F4", "crossover coarse", coarse)
+    record("F4", "crossover fine", fine)
+    assert coarse.bits < ca.bits < fine.bits

@@ -1,0 +1,83 @@
+"""F2 -- ablations on the paper's design choices.
+
+1. **Bit vs block granularity** (Section 4's motivation): for long
+   inputs the block search needs ``O(log n)`` instead of ``O(log l)``
+   ``PI_lBA+`` iterations, cutting rounds and the per-iteration additive
+   ``kappa n^2 log n`` overhead.
+2. **Security parameter**: the additive term scales with ``kappa``; the
+   payload term does not.
+3. **Workload spread**: identical inputs short-circuit (FindPrefix
+   agrees everywhere, no GetOutput), clustered inputs sit in between,
+   fully spread inputs are the adversarial-ish worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measure
+
+from conftest import record, run_measured
+
+N, T = 7, 2
+ELL = 12544  # multiple of n^2 = 49, comfortably "very long"
+
+
+def test_bit_vs_block_granularity(benchmark):
+    def sweep():
+        return {
+            "bits": measure(
+                "fixed_length_ca", N, T, ELL, seed=6, spread="clustered"
+            ),
+            "blocks": measure(
+                "fixed_length_ca_blocks", N, T, ELL, seed=6,
+                spread="clustered",
+            ),
+        }
+
+    ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("F2", "granularity=bit", ms["bits"])
+    record("F2", "granularity=block", ms["blocks"])
+    # Section 4's point: fewer iterations -> fewer rounds for long inputs.
+    assert ms["blocks"].rounds < ms["bits"].rounds
+    benchmark.extra_info["rounds_bit"] = ms["bits"].rounds
+    benchmark.extra_info["rounds_block"] = ms["blocks"].rounds
+
+
+@pytest.mark.parametrize("kappa", [64, 128, 256])
+def test_kappa_scaling(benchmark, kappa):
+    m = run_measured(
+        benchmark,
+        "F2",
+        f"kappa={kappa}",
+        lambda: measure(
+            "pi_z", N, T, 1024, kappa=kappa, seed=6, spread="clustered"
+        ),
+    )
+    assert m.bits > 0
+
+
+def test_kappa_hits_additive_term_only(benchmark):
+    """Quadrupling kappa must not quadruple the l-dependent cost."""
+
+    def sweep():
+        return [
+            measure("pi_z", N, T, 32768, kappa=k, seed=6, spread="clustered")
+            for k in (64, 256)
+        ]
+
+    small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratio = large.bits / small.bits
+    benchmark.extra_info["kappa_4x_bits_ratio"] = round(ratio, 2)
+    assert ratio < 3.0  # far below 4x: the l*n term is kappa-free
+
+
+@pytest.mark.parametrize("spread", ["identical", "clustered", "spread"])
+def test_workload_spread(benchmark, spread):
+    m = run_measured(
+        benchmark,
+        "F2",
+        f"spread={spread}",
+        lambda: measure("pi_z", N, T, 4096, seed=6, spread=spread),
+    )
+    assert m.bits > 0

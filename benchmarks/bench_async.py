@@ -1,0 +1,116 @@
+"""F6 -- the asynchronous setting (Section 8's future-work axis).
+
+Measures asynchronous Approximate Agreement at the paper's conjectured
+``t < n/5`` resilience over Bracha reliable broadcast, under three
+delivery schedules (friendly FIFO, chaotic random, targeted delay).
+
+Checks: eps-agreement + validity in every cell; cost grows linearly in
+the iteration count ``log(range/eps)``; the adversarial scheduler does
+not change the communication-order of magnitude (message complexity is
+schedule-independent, only latency would differ on a real network).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import Measurement
+from repro.asynchrony import (
+    AsyncApproximateAgreement,
+    AsyncNetwork,
+    FifoScheduler,
+    RandomScheduler,
+    TargetedDelayScheduler,
+)
+
+from conftest import record, run_measured
+
+N, T = 6, 1
+BOUND = 1 << 16
+
+SCHEDULERS = {
+    "fifo": lambda: FifoScheduler(),
+    "random": lambda: RandomScheduler(seed=29),
+    "delay0": lambda: TargetedDelayScheduler({0}, seed=29),
+}
+
+
+def run_async_aa(eps_exponent: int, scheduler_name: str) -> Measurement:
+    epsilon = Fraction(2) ** eps_exponent
+    inputs = [100 * i for i in range(N)]
+
+    net = AsyncNetwork(
+        lambda ctx: AsyncApproximateAgreement(
+            ctx, inputs[ctx.party_id], epsilon, BOUND
+        ),
+        n=N,
+        t=T,
+        scheduler=SCHEDULERS[scheduler_name](),
+    )
+    result = net.run()
+    honest = [p for p in range(N) if p not in result.corrupted]
+    outputs = [result.outputs[p] for p in honest]
+    lo = min(inputs[p] for p in honest)
+    hi = max(inputs[p] for p in honest)
+    assert all(lo <= out <= hi for out in outputs)
+    assert max(outputs) - min(outputs) <= epsilon
+    return Measurement(
+        protocol=f"async_aa[{scheduler_name}]",
+        n=N,
+        t=T,
+        ell=BOUND.bit_length(),
+        kappa=128,
+        bits=result.stats.honest_bits,
+        rounds=result.deliveries,
+        messages=result.stats.honest_messages,
+        output=float(max(outputs) - min(outputs)),
+    )
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_async_aa_schedulers(benchmark, scheduler_name):
+    m = run_measured(
+        benchmark,
+        "F6",
+        f"sched={scheduler_name}",
+        lambda: run_async_aa(0, scheduler_name),
+    )
+    assert m.bits > 0
+
+
+@pytest.mark.parametrize("eps_exponent", [8, 0, -8])
+def test_async_aa_vs_eps(benchmark, eps_exponent):
+    m = run_measured(
+        benchmark,
+        "F6",
+        f"eps=2^{eps_exponent}",
+        lambda: run_async_aa(eps_exponent, "random"),
+    )
+    assert m.bits > 0
+
+
+def test_cost_linear_in_iterations(benchmark):
+    def sweep():
+        return [run_async_aa(e, "fifo") for e in (8, 0, -8)]
+
+    coarse, mid, fine = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # each 256x precision gain adds 8 iterations at fixed per-iteration
+    # cost (n RBC instances of O(n^2) kappa-free messages).
+    step1 = mid.bits - coarse.bits
+    step2 = fine.bits - mid.bits
+    benchmark.extra_info["bits_per_8_iterations"] = step2
+    assert step1 > 0 and step2 > 0
+    assert step2 < 2.5 * step1
+
+
+def test_schedule_independence_of_message_complexity(benchmark):
+    def sweep():
+        return {name: run_async_aa(0, name) for name in SCHEDULERS}
+
+    ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, m in ms.items():
+        record("F6", f"msg-complexity {name}", m)
+    bits = [m.bits for m in ms.values()]
+    assert max(bits) <= 1.5 * min(bits)

@@ -1,0 +1,69 @@
+"""T4 -- Theorem 4: ``FixedLengthCABlocks`` costs ``O(l n + kappa n^2 log^2 n)``
+for very long inputs (``l >= n^2``), with ``O(log n)`` search iterations.
+
+Checks: bits near-linear in ``l`` over a long-input sweep; iteration
+count bounded by ``O(log n)`` independent of ``l`` (visible as a flat
+round count across the ``l`` sweep up to the AddLastBlock term).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fit_power_law, measure
+
+from conftest import run_measured
+
+N, T = 7, 2
+# long inputs: all well above n^2 = 49 bits
+ELLS = [1960, 7840, 31360, 125440]  # multiples of n^2 = 49
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_blocks_vs_ell(benchmark, ell):
+    m = run_measured(
+        benchmark,
+        "T4",
+        f"ell={ell}",
+        lambda: measure(
+            "fixed_length_ca_blocks", N, T, ell, seed=3, spread="clustered"
+        ),
+    )
+    assert m.bits > 0
+
+
+def test_blocks_linear_in_ell(benchmark):
+    def sweep():
+        return [
+            measure(
+                "fixed_length_ca_blocks", N, T, ell, seed=3,
+                spread="clustered",
+            )
+            for ell in ELLS
+        ]
+
+    ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent, _ = fit_power_law(
+        [m.ell for m in ms[1:]], [m.bits for m in ms[1:]]
+    )
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    assert exponent < 1.25
+
+
+def test_blocks_rounds_independent_of_ell(benchmark):
+    """O(log n) iterations regardless of l: rounds flat across a 64x
+    increase in input length."""
+
+    def sweep():
+        return [
+            measure(
+                "fixed_length_ca_blocks", N, T, ell, seed=3,
+                spread="clustered",
+            )
+            for ell in (1960, 125440)
+        ]
+
+    small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["rounds_small"] = small.rounds
+    benchmark.extra_info["rounds_large"] = large.rounds
+    assert large.rounds <= 1.5 * small.rounds

@@ -1,0 +1,81 @@
+"""F1 -- the headline comparison: ``PI_Z`` vs the broadcast baselines.
+
+Reproduces the paper's Section 1 story as a measured series: total
+honest bits versus input length for
+
+* ``pi_z``               (this paper)          -- ``O(l n)``,
+* ``broadcast_ca``       (classic BC approach) -- ``O(l n^2)``,
+* ``naive_broadcast_ca`` (pre-extension era)   -- ``O(l n^3)``,
+* ``high_cost_ca``       (king-style CA [47])  -- ``O(l n^3)``.
+
+Checks: who wins for large ``l`` (PI_Z), by what factor (~n vs the
+broadcast approach), and where the crossover with the cheap-but-cubic
+protocols falls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import marginal_slope, measure
+
+from conftest import record, run_measured
+
+N, T = 7, 2
+ELLS = [256, 1024, 4096, 16384]
+PROTOCOLS = ["pi_z", "broadcast_ca", "naive_broadcast_ca", "high_cost_ca"]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("ell", ELLS)
+def test_comparison_point(benchmark, protocol, ell):
+    m = run_measured(
+        benchmark,
+        "F1",
+        f"{protocol}@{ell}",
+        lambda: measure(protocol, N, T, ell, seed=5, spread="spread"),
+    )
+    assert m.bits > 0
+
+
+def test_pi_z_wins_for_long_inputs(benchmark):
+    """At the top of the sweep the paper's protocol must be cheapest."""
+
+    def sweep():
+        return {
+            protocol: measure(protocol, N, T, ELLS[-1], seed=5)
+            for protocol in PROTOCOLS
+        }
+
+    ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for protocol, m in ms.items():
+        record("F1", f"winner-check {protocol}", m)
+    pi_z = ms["pi_z"].bits
+    assert all(
+        pi_z < m.bits for name, m in ms.items() if name != "pi_z"
+    ), {name: m.bits for name, m in ms.items()}
+
+
+def test_marginal_slopes_ordering(benchmark):
+    """Slopes (bits per extra input bit) must order as n < n^2 <= n^3."""
+
+    def sweep():
+        out = {}
+        for protocol in PROTOCOLS:
+            ms = [
+                measure(protocol, N, T, ell, seed=5)
+                for ell in (4096, 16384)
+            ]
+            out[protocol] = marginal_slope(
+                [m.ell for m in ms], [m.bits for m in ms]
+            )
+        return out
+
+    slopes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for protocol, slope in slopes.items():
+        benchmark.extra_info[f"slope_{protocol}"] = round(slope, 1)
+    assert slopes["pi_z"] < slopes["broadcast_ca"]
+    assert slopes["broadcast_ca"] < slopes["naive_broadcast_ca"]
+    assert slopes["broadcast_ca"] < slopes["high_cost_ca"]
+    # the gap between PI_Z and the broadcast approach is ~n-fold:
+    assert slopes["broadcast_ca"] / slopes["pi_z"] > N / 2

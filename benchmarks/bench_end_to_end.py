@@ -1,0 +1,91 @@
+"""T5 -- Theorem 5 / Corollaries 1-2: end-to-end ``PI_N`` / ``PI_Z``.
+
+The paper's headline: ``BITS_l(PI_Z) = O(l n + kappa n^2 log^2 n)`` and
+``ROUNDS_l(PI_Z) = O(n log n)`` (with a quadratic ``PI_BA``).
+
+Checks: marginal bits per extra input bit ~ n; near-linear fitted
+exponent in ``l``; rounds bounded by ``c * n log n`` across the n-sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import fit_power_law, marginal_slope, measure
+
+from conftest import run_measured
+
+N, T = 7, 2
+ELLS = [256, 1024, 4096, 16384, 65536]
+NS = [(4, 1), (7, 2), (10, 3), (13, 4)]
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_pi_z_vs_ell(benchmark, ell):
+    m = run_measured(
+        benchmark,
+        "T5",
+        f"ell={ell}",
+        lambda: measure("pi_z", N, T, ell, seed=4, spread="clustered"),
+    )
+    assert m.bits > 0
+
+
+@pytest.mark.parametrize("n,t", NS)
+def test_pi_z_vs_n(benchmark, n, t):
+    m = run_measured(
+        benchmark,
+        "T5",
+        f"n={n}",
+        lambda: measure("pi_z", n, t, 4096, seed=4, spread="clustered"),
+    )
+    # Rounds O(n log n): generous constant, checked across the sweep.
+    assert m.rounds <= 60 * n * math.log2(max(2, n))
+
+
+def test_pi_z_marginal_slope_is_order_n(benchmark):
+    """The headline number: each extra input bit costs ~n bits total."""
+
+    def sweep():
+        return [
+            measure("pi_z", N, T, ell, seed=4, spread="clustered")
+            for ell in (16384, 65536)
+        ]
+
+    ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    slope = marginal_slope([m.ell for m in ms], [m.bits for m in ms])
+    benchmark.extra_info["bits_per_input_bit"] = round(slope, 2)
+    # Theta(n): allow [n/2, 6n] for protocol constants (the value
+    # traverses the network a small constant number of times).
+    assert N / 2 <= slope <= 6 * N, slope
+
+
+def test_pi_z_near_linear_in_ell(benchmark):
+    def sweep():
+        return [
+            measure("pi_z", N, T, ell, seed=4, spread="clustered")
+            for ell in ELLS[1:]
+        ]
+
+    ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent, r2 = fit_power_law([m.ell for m in ms], [m.bits for m in ms])
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    benchmark.extra_info["r_squared"] = round(r2, 4)
+    assert exponent < 1.25
+
+
+def test_pi_n_matches_pi_z_on_naturals(benchmark):
+    """PI_Z adds only one bit-BA on top of PI_N."""
+
+    def sweep():
+        return [
+            measure(name, N, T, 4096, seed=4, spread="clustered")
+            for name in ("pi_n", "pi_z")
+        ]
+
+    pi_n, pi_z = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    overhead = pi_z.bits - pi_n.bits
+    benchmark.extra_info["sign_ba_overhead_bits"] = overhead
+    assert overhead < 0.05 * pi_n.bits

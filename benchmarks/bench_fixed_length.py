@@ -1,0 +1,75 @@
+"""T2 -- Theorem 2: ``FixedLengthCA`` costs ``O(l n + kappa n^2 log n log l)``
+bits and ``O(log l) * ROUNDS(PI_BA)`` rounds.
+
+Checks: bits scale ~linearly in ``l`` for large ``l``; rounds scale
+logarithmically in ``l`` (ratio across a 64x ``l`` increase stays small).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fit_power_law, measure
+
+from conftest import run_measured
+
+N, T = 7, 2
+ELLS = [256, 1024, 4096, 16384]
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_fixed_length_ca_vs_ell(benchmark, ell):
+    m = run_measured(
+        benchmark,
+        "T2",
+        f"ell={ell}",
+        lambda: measure(
+            "fixed_length_ca", N, T, ell, seed=1, spread="clustered"
+        ),
+    )
+    assert m.bits > 0
+
+
+def test_fixed_length_ca_rounds_logarithmic(benchmark):
+    def sweep():
+        return [
+            measure("fixed_length_ca", N, T, ell, seed=1, spread="clustered")
+            for ell in (256, 16384)
+        ]
+
+    small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # O(log l) iterations: 64x longer inputs -> rounds grow by at most
+    # the iteration-count ratio log(16384)/log(256) = 14/8 (plus slack).
+    ratio = large.rounds / small.rounds
+    benchmark.extra_info["rounds_ratio_64x_ell"] = round(ratio, 2)
+    assert ratio < 2.5
+
+
+def test_fixed_length_ca_bits_near_linear_tail(benchmark):
+    def sweep():
+        return [
+            measure("fixed_length_ca", N, T, ell, seed=1, spread="clustered")
+            for ell in ELLS
+        ]
+
+    ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent, _ = fit_power_law(
+        [m.ell for m in ms[1:]], [m.bits for m in ms[1:]]
+    )
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    # log-factor on the additive term allows mild super-linearity
+    assert exponent < 1.4
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+def test_fixed_length_ca_vs_n(benchmark, n, t):
+    ell = 1024
+    m = run_measured(
+        benchmark,
+        "T2",
+        f"n={n}",
+        lambda: measure(
+            "fixed_length_ca", n, t, ell, seed=1, spread="clustered"
+        ),
+    )
+    assert m.rounds > 0

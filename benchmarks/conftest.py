@@ -1,0 +1,82 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment from DESIGN.md's
+per-experiment index (T1-T6, F1-F3).  pytest-benchmark provides wall
+-clock timing; the quantities the paper actually bounds -- honest bits
+and rounds -- are attached as ``extra_info`` on each benchmark record
+and printed as plain-text tables at the end of the session.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale note: parameters are chosen so the full suite completes in a few
+minutes on a laptop while still spanning enough of each sweep for the
+scaling exponents to be visible.  EXPERIMENTS.md records a reference
+run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.analysis import Measurement, format_table
+
+#: module-level registry: experiment id -> list of (label, Measurement)
+_RESULTS: dict[str, list[tuple[str, Measurement]]] = defaultdict(list)
+
+
+def record(experiment: str, label: str, measurement: Measurement) -> None:
+    """Register a measurement for the end-of-session experiment tables."""
+    _RESULTS[experiment].append((label, measurement))
+
+
+def attach(benchmark, measurement: Measurement) -> None:
+    """Attach the paper's metrics to a pytest-benchmark record."""
+    benchmark.extra_info["protocol"] = measurement.protocol
+    benchmark.extra_info["n"] = measurement.n
+    benchmark.extra_info["t"] = measurement.t
+    benchmark.extra_info["ell"] = measurement.ell
+    benchmark.extra_info["honest_bits"] = measurement.bits
+    benchmark.extra_info["rounds"] = measurement.rounds
+
+
+def run_measured(benchmark, experiment: str, label: str, fn) -> Measurement:
+    """Benchmark ``fn`` once and register its measurement."""
+    measurement = benchmark.pedantic(fn, rounds=1, iterations=1)
+    attach(benchmark, measurement)
+    record(experiment, label, measurement)
+    return measurement
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    """Print the per-experiment tables after the benchmark session."""
+    if not _RESULTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "experiment tables (paper metrics: bits & rounds)")
+    for experiment in sorted(_RESULTS):
+        rows = [
+            [
+                label,
+                m.protocol,
+                m.n,
+                m.ell,
+                m.bits,
+                round(m.bits_per_party),
+                m.rounds,
+            ]
+            for label, m in _RESULTS[experiment]
+        ]
+        tr.write_line("")
+        tr.write_line(
+            format_table(
+                ["case", "protocol", "n", "ell", "bits", "bits/party",
+                 "rounds"],
+                rows,
+                title=f"[{experiment}]",
+            )
+        )

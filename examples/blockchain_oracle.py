@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Blockchain oracle: convex agreement on high-precision price feeds.
+
+Decentralised oracles (the paper cites Delphi [5]) aggregate asset
+prices reported by n nodes, some of which may be compromised.  Price
+feeds are *long* values -- high-precision fixed-point numbers, often
+batched across many assets -- which is exactly the regime where the
+paper's ``O(l n)`` protocol beats the ``O(l n^2)`` broadcast approach.
+
+This example agrees on a 1024-bit batched price vector (32 assets x
+32-bit fixed-point prices packed into one integer) and prints the
+per-subprotocol communication breakdown, showing where the bits go
+(the distributing step carries the payload; the BA machinery is
+payload-independent).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SplitVoteAdversary, convex_agreement
+
+NUM_NODES = 7
+NUM_ASSETS = 32
+PRICE_BITS = 32
+
+
+def pack_prices(prices: list[int]) -> int:
+    """Pack per-asset fixed-point prices into one long integer."""
+    packed = 0
+    for price in prices:
+        packed = (packed << PRICE_BITS) | (price & ((1 << PRICE_BITS) - 1))
+    return packed
+
+
+def unpack_prices(packed: int) -> list[int]:
+    prices = []
+    for _ in range(NUM_ASSETS):
+        prices.append(packed & ((1 << PRICE_BITS) - 1))
+        packed >>= PRICE_BITS
+    return list(reversed(prices))
+
+
+def node_feed(seed: int) -> list[int]:
+    """One node's observed prices: common market level + small jitter."""
+    rng = random.Random(seed)
+    base = random.Random(2026).randrange(1 << (PRICE_BITS - 2))
+    return [
+        max(0, base + rng.randint(-3, 3)) for _ in range(NUM_ASSETS)
+    ]
+
+
+def main() -> None:
+    feeds = [pack_prices(node_feed(seed)) for seed in range(NUM_NODES)]
+
+    outcome = convex_agreement(
+        feeds, adversary=SplitVoteAdversary(alt_value=0)
+    )
+    honest = [
+        v for i, v in enumerate(feeds) if i not in outcome.corrupted
+    ]
+    assert min(honest) <= outcome.value <= max(honest)
+
+    agreed_prices = unpack_prices(outcome.value)
+    lo_prices = unpack_prices(min(honest))
+    hi_prices = unpack_prices(max(honest))
+    # CA is one-dimensional: the hull guarantee is on the packed value,
+    # i.e. the agreed feed sits lexicographically between two honest
+    # feeds.  Assets up to the honest feeds' divergence point are pinned
+    # exactly; later ones are clamped toward the chosen boundary.
+    pinned = next(
+        (
+            i
+            for i in range(NUM_ASSETS)
+            if lo_prices[i] != hi_prices[i]
+        ),
+        NUM_ASSETS,
+    )
+    print(f"nodes: {NUM_NODES}, corrupted: {sorted(outcome.corrupted)}")
+    print(f"batched feed length: {max(v.bit_length() for v in feeds)} bits")
+    print(f"agreed price[0..4] : {agreed_prices[:5]}")
+    print(f"assets pinned exactly by the honest common prefix: {pinned}")
+    print(f"total honest bits  : {outcome.stats.honest_bits:,}")
+    print(f"rounds             : {outcome.stats.rounds}")
+
+    print("\ntop subprotocol channels by honest bits:")
+    for channel, bits, messages in outcome.stats.channel_report()[:10]:
+        print(f"  {channel:<40} {bits:>10,} bits  {messages:>6,} msgs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Communication scaling: the paper's headline claim, live.
+
+Runs the F1 comparison from DESIGN.md at a laptop-friendly scale: total
+honest bits versus input length ``l`` for
+
+* ``pi_z``               -- this paper, ``O(l n)``,
+* ``broadcast_ca``       -- classic broadcast approach, ``O(l n^2)``,
+* ``high_cost_ca``       -- existing king-style CA, ``O(l n^3)``,
+
+and prints the fitted marginal slope (bits sent per extra input bit).
+The paper predicts slopes of roughly ``n``, ``n^2`` and ``n^3``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    comparison_series,
+    format_table,
+    marginal_slope,
+)
+
+N = 7
+ELLS = [256, 1024, 4096, 16384]
+PROTOCOLS = ["pi_z", "broadcast_ca", "high_cost_ca"]
+
+
+def main() -> None:
+    series = comparison_series(PROTOCOLS, n=N, ells=ELLS, spread="spread")
+
+    rows = []
+    for ell in ELLS:
+        row: list = [ell]
+        for protocol in PROTOCOLS:
+            m = next(m for m in series[protocol] if m.ell == ell)
+            row.append(m.bits)
+        rows.append(row)
+    print(
+        format_table(
+            ["ell (bits)"] + PROTOCOLS,
+            rows,
+            title=f"total honest bits, n={N}, t={(N - 1) // 3}",
+        )
+    )
+
+    print("\nmarginal cost (bits per extra input bit):")
+    for protocol in PROTOCOLS:
+        ms = series[protocol]
+        slope = marginal_slope([m.ell for m in ms], [m.bits for m in ms])
+        print(f"  {protocol:<14} {slope:>12.1f}")
+    print(f"\npaper's prediction: ~n={N}, ~n^2={N**2}, ~n^3={N**3}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: run Convex Agreement in five lines.
+
+Seven parties hold integer inputs; two of them are byzantine and shout
+an extreme value (the paper's +100 degrees sensor).  Convex Agreement
+guarantees the honest output lies within the *honest* inputs' range, no
+matter what the corrupted parties do.
+"""
+
+from repro import OutlierAdversary, convex_agreement
+
+INPUTS = [-1005, -1004, -1003, -1003, -1005, -1004, -1004]
+
+
+def main() -> None:
+    outcome = convex_agreement(
+        INPUTS,
+        adversary=OutlierAdversary(high=100),  # byzantine sensors say +100
+    )
+
+    honest = [
+        v for party, v in enumerate(INPUTS) if party not in outcome.corrupted
+    ]
+    print(f"inputs           : {INPUTS}")
+    print(f"corrupted parties: {sorted(outcome.corrupted)}")
+    print(f"agreed output    : {outcome.value}")
+    print(f"honest range     : [{min(honest)}, {max(honest)}]")
+    print(f"honest bits sent : {outcome.stats.honest_bits:,}")
+    print(f"rounds           : {outcome.stats.rounds}")
+
+    assert min(honest) <= outcome.value <= max(honest)
+    print("convex validity holds.")
+
+
+if __name__ == "__main__":
+    main()

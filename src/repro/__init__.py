@@ -1,0 +1,93 @@
+"""repro: Communication-Optimal Convex Agreement (PODC 2024).
+
+A full reproduction of "Communication-Optimal Convex Agreement" by
+Ghinea, Liu-Zhang and Wattenhofer: the ``PI_Z`` / ``PI_N`` convex
+agreement protocols, every substrate they rely on (synchronous-network
+simulation, byzantine adversaries, Phase-King BA, ``PI_BA+`` and
+``PI_lBA+``, Reed-Solomon coding, Merkle accumulation, ``HighCostCA``),
+and the baselines the paper compares against.
+
+Quick start::
+
+    from repro import convex_agreement, OutlierAdversary
+
+    outcome = convex_agreement(
+        [-1005, -1004, -1003, -1003, -1005, 0, 0],
+        adversary=OutlierAdversary(high=10**6),
+    )
+    print(outcome.value)             # within [-1005, -1003]
+    print(outcome.stats.honest_bits) # the paper's BITS_l metric
+"""
+
+from .aa import approximate_agreement
+from .authenticated import authenticated_ca, dolev_strong_broadcast
+from .core import (
+    BitString,
+    ConvexAgreementOutcome,
+    convex_agreement,
+    default_threshold,
+    fixed_length_ca,
+    fixed_length_ca_blocks,
+    high_cost_ca,
+    protocol_n,
+    protocol_z,
+)
+from .core.vector import vector_convex_agreement
+from .errors import (
+    CodingError,
+    ConfigurationError,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+)
+from .sim import (
+    AdaptiveCorruptionAdversary,
+    Adversary,
+    Context,
+    CrashAdversary,
+    EquivocatingAdversary,
+    ExecutionResult,
+    OutlierAdversary,
+    PassiveAdversary,
+    RandomGarbageAdversary,
+    ScriptedAdversary,
+    SplitVoteAdversary,
+    run_protocol,
+    standard_adversary_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveCorruptionAdversary",
+    "Adversary",
+    "BitString",
+    "CodingError",
+    "ConfigurationError",
+    "Context",
+    "ConvexAgreementOutcome",
+    "CrashAdversary",
+    "EquivocatingAdversary",
+    "ExecutionResult",
+    "OutlierAdversary",
+    "PassiveAdversary",
+    "ProtocolViolation",
+    "RandomGarbageAdversary",
+    "ReproError",
+    "ScriptedAdversary",
+    "SimulationError",
+    "SplitVoteAdversary",
+    "approximate_agreement",
+    "authenticated_ca",
+    "convex_agreement",
+    "default_threshold",
+    "dolev_strong_broadcast",
+    "fixed_length_ca",
+    "fixed_length_ca_blocks",
+    "high_cost_ca",
+    "protocol_n",
+    "protocol_z",
+    "run_protocol",
+    "standard_adversary_suite",
+    "vector_convex_agreement",
+]

@@ -1,0 +1,5 @@
+"""Approximate Agreement: the eps-relaxation CA generalises (Section 1.1)."""
+
+from .sync_aa import approximate_agreement, iterations_for, trimmed_midpoint
+
+__all__ = ["approximate_agreement", "iterations_for", "trimmed_midpoint"]

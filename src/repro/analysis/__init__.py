@@ -1,0 +1,56 @@
+"""Experiment harness: theorem models, parameter sweeps, table rendering."""
+
+from .experiments import (
+    PROTOCOLS,
+    Measurement,
+    comparison_series,
+    make_inputs,
+    measure,
+    sweep_ell,
+    sweep_n,
+)
+from .predictions import (
+    ba_plus_bits_model,
+    broadcast_ca_bits_model,
+    ext_ba_plus_bits_model,
+    fit_power_law,
+    fixed_length_ca_bits_model,
+    fixed_length_ca_blocks_bits_model,
+    high_cost_ca_bits_model,
+    marginal_slope,
+    naive_broadcast_ca_bits_model,
+    phase_king_bits_model,
+    pi_z_bits_model,
+)
+from .charts import ascii_chart, series_chart
+from .report import generate_report
+from .storage import load_measurements, save_measurements
+from .tables import format_measurements, format_table
+
+__all__ = [
+    "PROTOCOLS",
+    "Measurement",
+    "ascii_chart",
+    "ba_plus_bits_model",
+    "broadcast_ca_bits_model",
+    "comparison_series",
+    "ext_ba_plus_bits_model",
+    "fit_power_law",
+    "fixed_length_ca_bits_model",
+    "fixed_length_ca_blocks_bits_model",
+    "format_measurements",
+    "format_table",
+    "generate_report",
+    "load_measurements",
+    "high_cost_ca_bits_model",
+    "make_inputs",
+    "marginal_slope",
+    "measure",
+    "naive_broadcast_ca_bits_model",
+    "phase_king_bits_model",
+    "pi_z_bits_model",
+    "save_measurements",
+    "series_chart",
+    "sweep_ell",
+    "sweep_n",
+]

@@ -1,0 +1,89 @@
+"""Terminal-friendly ASCII charts for measurement series.
+
+The experiment harness's tables carry the exact numbers; these charts
+make the *shapes* -- linear vs quadratic vs cubic growth, crossovers --
+visible directly in a terminal, without any plotting dependency.
+Used by ``python -m repro compare --chart`` and the report generator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_chart", "series_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_position(value: float, lo: float, hi: float, cells: int) -> int:
+    """Map ``value`` into ``0..cells-1`` on a log scale."""
+    if hi <= lo:
+        return 0
+    fraction = (math.log(value) - math.log(lo)) / (
+        math.log(hi) - math.log(lo)
+    )
+    return min(cells - 1, max(0, round(fraction * (cells - 1))))
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a log-log scatter of several named series.
+
+    Args:
+        xs: shared x positions (must be positive).
+        series: name -> y values (same length as ``xs``, positive).
+        width, height: chart cell dimensions.
+        x_label, y_label: axis captions.
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x position and one series")
+    all_y = [y for ys in series.values() for y in ys]
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in all_y):
+        raise ValueError("log-log chart needs positive values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            column = _log_position(x, x_lo, x_hi, width)
+            row = height - 1 - _log_position(y, y_lo, y_hi, height)
+            cell = grid[row][column]
+            grid[row][column] = marker if cell == " " else "?"
+
+    lines = [f"{y_label} (log scale, {y_lo:,.0f} .. {y_hi:,.0f})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label} (log scale, {x_lo:,.0f} .. {x_hi:,.0f})   "
+        + "   ".join(legend)
+    )
+    lines.append(" '?' marks overlapping series")
+    return "\n".join(lines)
+
+
+def series_chart(measurement_series: dict[str, list], width: int = 64,
+                 height: int = 16) -> str:
+    """Chart ``{protocol: [Measurement, ...]}`` as bits vs ell."""
+    if not measurement_series:
+        raise ValueError("empty series")
+    first = next(iter(measurement_series.values()))
+    xs = [m.ell for m in first]
+    series = {
+        name: [m.bits for m in ms]
+        for name, ms in measurement_series.items()
+    }
+    return ascii_chart(
+        xs, series, width=width, height=height,
+        x_label="ell (input bits)", y_label="honest bits",
+    )

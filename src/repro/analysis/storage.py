@@ -1,0 +1,69 @@
+"""Persist measurement sweeps as JSON (and load them back).
+
+Long sweeps are expensive; the CLI's ``--save``/``--load`` options and
+the benchmark comparison notebooks use this module to keep reference
+runs around.  The format is a plain JSON document with a schema marker,
+so saved runs stay diff-able and stable across versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .experiments import Measurement
+
+__all__ = ["save_measurements", "load_measurements", "SCHEMA"]
+
+SCHEMA = "repro.measurements/v1"
+
+
+def _to_record(measurement: Measurement) -> dict:
+    return {
+        "protocol": measurement.protocol,
+        "n": measurement.n,
+        "t": measurement.t,
+        "ell": measurement.ell,
+        "kappa": measurement.kappa,
+        "bits": measurement.bits,
+        "rounds": measurement.rounds,
+        "messages": measurement.messages,
+        # outputs may be huge ints; store as strings to stay portable.
+        "output": repr(measurement.output),
+        "channel_bits": dict(measurement.channel_bits),
+    }
+
+
+def _from_record(record: dict) -> Measurement:
+    return Measurement(
+        protocol=record["protocol"],
+        n=record["n"],
+        t=record["t"],
+        ell=record["ell"],
+        kappa=record["kappa"],
+        bits=record["bits"],
+        rounds=record["rounds"],
+        messages=record["messages"],
+        output=record.get("output"),
+        channel_bits=dict(record.get("channel_bits", {})),
+    )
+
+
+def save_measurements(
+    path: str | Path, measurements: Iterable[Measurement]
+) -> None:
+    """Write measurements to ``path`` as a JSON document."""
+    document = {
+        "schema": SCHEMA,
+        "measurements": [_to_record(m) for m in measurements],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_measurements(path: str | Path) -> list[Measurement]:
+    """Read measurements back; raises ``ValueError`` on schema mismatch."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or document.get("schema") != SCHEMA:
+        raise ValueError(f"{path} is not a {SCHEMA} document")
+    return [_from_record(r) for r in document.get("measurements", [])]

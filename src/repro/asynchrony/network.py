@@ -1,0 +1,366 @@
+"""Event-driven asynchronous network simulator.
+
+The paper's conclusions expect its techniques "can be easily extended
+to the asynchronous setting for a lower number of corruptions
+t < n/5".  The :mod:`repro.asynchrony` subpackage builds the
+asynchronous side of that story: this module provides the substrate --
+an event-driven message scheduler where the *adversary controls
+delivery order* -- on which Bracha's reliable broadcast and the
+asynchronous Approximate Agreement of Dolev et al. run.  (Deterministic
+asynchronous *exact* agreement -- hence CA -- is impossible by FLP [22];
+AA is precisely the relaxation the literature uses to circumvent it,
+see Section 1.1.)
+
+Model:
+
+* no rounds; messages sit in a pending pool until the scheduler (an
+  adversary-controlled policy) picks one to deliver;
+* honest-to-anyone messages are *eventually* delivered: the scheduler
+  must always pick some pending message, and byzantine injections are
+  budget-limited, so no honest message can be starved forever;
+* byzantine parties do not run code; the adversary injects arbitrary
+  messages attributed to them between deliveries;
+* honest parties are reactive objects: ``start()`` once, then
+  ``on_message(src, payload)`` per delivery; they may keep processing
+  after deciding (required for liveness of e.g. reliable broadcast).
+
+Communication accounting matches the synchronous simulator: every
+honest-sent payload is priced by :func:`repro.sim.sizing.bit_size`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ConfigurationError, SimulationError
+from ..sim.metrics import CommunicationStats
+from ..sim.sizing import bit_size
+
+__all__ = [
+    "AsyncContext",
+    "AsyncParty",
+    "AsyncNetwork",
+    "AsyncResult",
+    "Scheduler",
+    "FifoScheduler",
+    "RandomScheduler",
+    "TargetedDelayScheduler",
+    "AsyncAdversary",
+]
+
+
+@dataclass(frozen=True)
+class AsyncContext:
+    """Per-party parameters (the async twin of ``sim.party.Context``)."""
+
+    party_id: int
+    n: int
+    t: int
+    kappa: int = 128
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or not 0 <= self.t < self.n:
+            raise ConfigurationError(
+                f"need n > 0 and 0 <= t < n, got n={self.n}, t={self.t}"
+            )
+        if not 0 <= self.party_id < self.n:
+            raise ConfigurationError("party_id out of range")
+
+    @property
+    def all_parties(self) -> range:
+        """All party ids, ``0..n-1``."""
+        return range(self.n)
+
+    def require_resilience(self, denominator: int) -> None:
+        """Assert this protocol's ``t < n/denominator`` bound."""
+        if denominator * self.t >= self.n:
+            raise ConfigurationError(
+                f"protocol requires t < n/{denominator}, "
+                f"got n={self.n}, t={self.t}"
+            )
+
+
+class AsyncParty:
+    """Base class for honest asynchronous protocol logic.
+
+    Subclasses receive an :class:`_PartyAPI` as ``self.api`` providing
+    ``send(dst, payload)``, ``broadcast(payload)`` and
+    ``decide(output)``.  ``decide`` records the output without stopping
+    message processing (asynchronous protocols must keep helping their
+    peers after deciding).
+    """
+
+    def __init__(self, ctx: AsyncContext) -> None:
+        self.ctx = ctx
+        self.api: "_PartyAPI" = None  # injected by the network
+
+    def start(self) -> None:
+        """Called once before any delivery."""
+
+    def on_message(self, src: int, payload: Any) -> None:
+        """Called for every delivered message."""
+        raise NotImplementedError
+
+
+@dataclass
+class _Pending:
+    seq: int
+    src: int
+    dst: int
+    payload: Any
+
+
+class Scheduler:
+    """Delivery policy: picks which pending message is delivered next."""
+
+    def choose(self, pending: list[_Pending]) -> _Pending:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FifoScheduler(Scheduler):
+    """Deliver in send order (the friendliest schedule)."""
+
+    def choose(self, pending: list[_Pending]) -> _Pending:
+        return min(pending, key=lambda m: m.seq)
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random pending message (a chaotic but fair schedule)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def choose(self, pending: list[_Pending]) -> _Pending:
+        return self.rng.choice(pending)
+
+    def describe(self) -> str:
+        return "RandomScheduler"
+
+
+class TargetedDelayScheduler(Scheduler):
+    """Starve a set of victim parties as long as legally possible.
+
+    Messages to/from victims are delivered only when nothing else is
+    pending -- the classic "slow network partition" attack that async
+    protocols must survive.
+    """
+
+    def __init__(self, victims: set[int], seed: int = 0) -> None:
+        self.victims = set(victims)
+        self.rng = random.Random(seed)
+
+    def choose(self, pending: list[_Pending]) -> _Pending:
+        preferred = [
+            m
+            for m in pending
+            if m.src not in self.victims and m.dst not in self.victims
+        ]
+        pool = preferred or pending
+        return self.rng.choice(pool)
+
+    def describe(self) -> str:
+        return f"TargetedDelayScheduler(victims={sorted(self.victims)})"
+
+
+class AsyncAdversary:
+    """Byzantine message injection for corrupted parties.
+
+    ``inject`` is called between deliveries and returns up to
+    ``budget`` remaining ``(src, dst, payload)`` triples with corrupted
+    ``src``.  The total injection budget bounds the adversary (without
+    a bound it could starve honest messages forever, violating eventual
+    delivery).
+    """
+
+    def __init__(self, budget: int = 10_000, seed: int = 0) -> None:
+        self.budget = budget
+        self.rng = random.Random(seed)
+
+    def select_corruptions(self, n: int, t: int) -> set[int]:
+        return set(range(n - t, n))
+
+    def inject(
+        self,
+        step: int,
+        corrupted: set[int],
+        n: int,
+        observed: list[tuple[int, int, Any]],
+    ) -> list[tuple[int, int, Any]]:
+        """Messages to add this step (honest traffic so far is visible)."""
+        return []
+
+
+class GarbageAsyncAdversary(AsyncAdversary):
+    """Sprays random garbage early in the execution."""
+
+    _MAKERS = (
+        lambda rng: rng.getrandbits(32),
+        lambda rng: ("ECHO", rng.getrandbits(8)),
+        lambda rng: ("READY", None),
+        lambda rng: None,
+        lambda rng: [1, "x"],
+    )
+
+    def inject(self, step, corrupted, n, observed):
+        if step > 200 or not corrupted:
+            return []
+        out = []
+        for src in corrupted:
+            dst = self.rng.randrange(n)
+            maker = self.rng.choice(self._MAKERS)
+            out.append((src, dst, maker(self.rng)))
+        return out
+
+
+@dataclass
+class AsyncResult:
+    """Outcome of an asynchronous execution."""
+
+    n: int
+    t: int
+    outputs: dict[int, Any]
+    corrupted: frozenset[int]
+    stats: CommunicationStats
+    deliveries: int
+
+    @property
+    def honest_parties(self) -> list[int]:
+        """Ids of the parties that stayed honest."""
+        return [p for p in range(self.n) if p not in self.corrupted]
+
+
+class _PartyAPI:
+    """Capability object handed to each honest party."""
+
+    def __init__(self, network: "AsyncNetwork", party_id: int) -> None:
+        self._network = network
+        self._party_id = party_id
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Queue one message to ``dst`` (priced immediately)."""
+        self._network._enqueue(self._party_id, dst, payload, honest=True)
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue ``payload`` to every party."""
+        for dst in range(self._network.n):
+            self.send(dst, payload)
+
+    def decide(self, output: Any) -> None:
+        """Record this party's output (processing continues)."""
+        self._network._decide(self._party_id, output)
+
+
+class AsyncNetwork:
+    """Drives one asynchronous execution to quiescence."""
+
+    def __init__(
+        self,
+        party_factory: Callable[[AsyncContext], AsyncParty],
+        n: int,
+        t: int,
+        kappa: int = 128,
+        scheduler: Scheduler | None = None,
+        adversary: AsyncAdversary | None = None,
+        max_deliveries: int = 2_000_000,
+    ) -> None:
+        self.n = n
+        self.t = t
+        self.kappa = kappa
+        self.scheduler = scheduler or FifoScheduler()
+        self.adversary = adversary or AsyncAdversary()
+        self.max_deliveries = max_deliveries
+
+        self.corrupted = set(self.adversary.select_corruptions(n, t))
+        if len(self.corrupted) > t:
+            raise ConfigurationError("adversary over-corrupted")
+
+        self.stats = CommunicationStats()
+        self._pending: list[_Pending] = []
+        self._seq = 0
+        self._outputs: dict[int, Any] = {}
+        self._observed: list[tuple[int, int, Any]] = []
+        self._injection_budget = self.adversary.budget
+
+        self._parties: dict[int, AsyncParty] = {}
+        for party in range(n):
+            if party in self.corrupted:
+                continue
+            ctx = AsyncContext(party_id=party, n=n, t=t, kappa=kappa)
+            instance = party_factory(ctx)
+            instance.api = _PartyAPI(self, party)
+            self._parties[party] = instance
+
+    # -- internals used by _PartyAPI -----------------------------------
+    def _enqueue(
+        self, src: int, dst: int, payload: Any, honest: bool
+    ) -> None:
+        if not 0 <= dst < self.n:
+            return
+        self._pending.append(_Pending(self._seq, src, dst, payload))
+        self._seq += 1
+        if honest:
+            self.stats.record_send(src, "async", bit_size(payload))
+            self._observed.append((src, dst, payload))
+
+    def _decide(self, party: int, output: Any) -> None:
+        self._outputs.setdefault(party, output)
+
+    # -- execution -------------------------------------------------------
+    def run(self) -> AsyncResult:
+        """Execute until all honest parties decided and quiescent."""
+        for party in self._parties.values():
+            party.start()
+
+        deliveries = 0
+        step = 0
+        while True:
+            if self._all_decided() and not self._pending_for_honest():
+                break
+            # byzantine injection (budget-bounded).
+            if self._injection_budget > 0:
+                injected = self.adversary.inject(
+                    step, set(self.corrupted), self.n, self._observed
+                )
+                for src, dst, payload in injected[: self._injection_budget]:
+                    if src in self.corrupted:
+                        self._enqueue(src, dst, payload, honest=False)
+                        self._injection_budget -= 1
+            step += 1
+
+            deliverable = self._pending_for_honest()
+            if not deliverable:
+                if self._all_decided():
+                    break
+                raise SimulationError(
+                    "asynchronous deadlock: undecided honest parties but "
+                    "no pending messages"
+                )
+            message = self.scheduler.choose(deliverable)
+            self._pending.remove(message)
+            deliveries += 1
+            if deliveries > self.max_deliveries:
+                raise SimulationError("delivery limit exceeded")
+            receiver = self._parties.get(message.dst)
+            if receiver is not None:
+                receiver.on_message(message.src, message.payload)
+            self.stats.record_round()  # one scheduler step
+
+        return AsyncResult(
+            n=self.n,
+            t=self.t,
+            outputs=dict(self._outputs),
+            corrupted=frozenset(self.corrupted),
+            stats=self.stats,
+            deliveries=deliveries,
+        )
+
+    def _pending_for_honest(self) -> list[_Pending]:
+        return [m for m in self._pending if m.dst not in self.corrupted]
+
+    def _all_decided(self) -> bool:
+        return all(party in self._outputs for party in self._parties)

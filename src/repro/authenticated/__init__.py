@@ -1,0 +1,11 @@
+"""The authenticated setting: ``t < n/2`` with cryptographic setup.
+
+Explores the feasibility side of the paper's open problem (Section 8):
+Dolev-Strong broadcast over idealized signatures, and a broadcast-based
+CA that tolerates a minority of corruptions.
+"""
+
+from .auth_ca import authenticated_ca
+from .dolev_strong import dolev_strong_broadcast, signed_payload
+
+__all__ = ["authenticated_ca", "dolev_strong_broadcast", "signed_payload"]

@@ -1,0 +1,52 @@
+"""Byzantine agreement substrate.
+
+Provides the assumed ``PI_BA`` (Phase-King, plus a Turpin-Coan
+alternative), the paper's ``PI_BA+`` and ``PI_lBA+`` (Section 7), the
+RS + Merkle distributing step they share, and a broadcast extension used
+by the baselines.
+"""
+
+from .ba_plus import ba_plus
+from .broadcast import byzantine_broadcast
+from .distribution import (
+    decode_with_check,
+    dispersal_bits_estimate,
+    distribute,
+    encode_and_accumulate,
+    valid_share_tuple,
+)
+from .domains import (
+    BIT_DOMAIN,
+    Domain,
+    bit_domain,
+    bitstring_domain,
+    canonical_key,
+    digest_domain,
+    nat_domain,
+    optional_digest_domain,
+)
+from .ext_ba_plus import ext_ba_plus
+from .phase_king import phase_king, phase_king_rounds
+from .turpin_coan import turpin_coan
+
+__all__ = [
+    "BIT_DOMAIN",
+    "Domain",
+    "ba_plus",
+    "bit_domain",
+    "bitstring_domain",
+    "byzantine_broadcast",
+    "canonical_key",
+    "decode_with_check",
+    "digest_domain",
+    "dispersal_bits_estimate",
+    "distribute",
+    "encode_and_accumulate",
+    "ext_ba_plus",
+    "nat_domain",
+    "optional_digest_domain",
+    "phase_king",
+    "phase_king_rounds",
+    "turpin_coan",
+    "valid_share_tuple",
+]

@@ -1,0 +1,157 @@
+"""The distributing step: value dispersal via RS codes + Merkle witnesses.
+
+This is the engine of every extension protocol in the paper (Section 7,
+``PI_lBA+`` lines 3-7, following the outline of [8, 41]): once the
+parties agree on an accumulator root ``z*``, the (at least one) honest
+party whose value matches ``z*`` sends each party ``P_j`` its codeword
+``s_j`` plus witness ``w_j``; every party forwards its verified codeword
+to everyone, discards anything the Merkle witness rejects, and decodes.
+
+Total cost: ``O(l n + kappa n^2 log n)`` bits in two rounds -- the only
+place the full l-bit value ever crosses the wire, and it does so O(1)
+times per party.
+
+Beyond the paper's pseudocode we add a *re-encode check* after decoding:
+re-encode the decoded value, rebuild the Merkle root, and compare with
+``z*``.  Inside ``PI_lBA+`` this is redundant (Intrusion Tolerance of
+``PI_BA+`` guarantees ``z*`` commits an honest codeword vector), but the
+same distribution step is reused by the baseline broadcast extension
+where a byzantine *sender* may commit to a non-codeword vector; the check
+makes the outcome deterministic and identical at all honest parties
+(everyone decodes the same value, or everyone rejects).
+"""
+
+from __future__ import annotations
+
+from ..crypto import merkle
+from ..sim.party import Context, Proto, broadcast_round, exchange
+
+__all__ = [
+    "distribute",
+    "encode_and_accumulate",
+    "valid_share_tuple",
+    "decode_with_check",
+    "dispersal_bits_estimate",
+]
+
+from ..coding.reed_solomon import ReedSolomonCode, rs_code
+from ..errors import CodingError
+
+
+def encode_and_accumulate(
+    ctx: Context, payload: bytes
+) -> tuple[ReedSolomonCode, list[bytes], bytes, list[merkle.MerkleWitness]]:
+    """``RS.ENCODE`` + ``MT.BUILD`` for this party's input payload."""
+    code = rs_code(ctx.n, ctx.quorum)
+    shares = code.encode(payload)
+    root, witnesses = merkle.build(ctx.kappa, shares)
+    return code, shares, root, witnesses
+
+
+def valid_share_tuple(
+    ctx: Context, z_star: bytes, index: int, message
+) -> bool:
+    """Structural + Merkle validation of a ``(i, s_i, w_i)`` tuple."""
+    if not (isinstance(message, tuple) and len(message) == 3):
+        return False
+    i, share, witness = message
+    if i != index or not isinstance(share, bytes) or not share:
+        return False
+    return merkle.verify(ctx.kappa, z_star, i, share, witness)
+
+
+def decode_with_check(
+    ctx: Context, z_star: bytes, collected: dict[int, bytes]
+) -> bytes | None:
+    """Decode verified shares; reject unless re-encoding matches ``z*``.
+
+    Returns the committed value iff ``z*`` commits a valid codeword
+    vector and at least ``k`` of its codewords were collected; otherwise
+    ``None``.  Deterministic in ``(z*, collected)``.
+    """
+    code = rs_code(ctx.n, ctx.quorum)
+    if len(collected) < code.k:
+        return None
+    try:
+        value = code.decode(collected)
+    except CodingError:
+        return None
+    reencoded = code.encode(value)
+    root, _ = merkle.build(ctx.kappa, reencoded)
+    if root != z_star:
+        return None
+    return value
+
+
+def distribute(
+    ctx: Context,
+    z_star: bytes,
+    holding: bool,
+    shares: list[bytes],
+    witnesses: list[merkle.MerkleWitness],
+    channel: str = "dist",
+) -> Proto[bytes | None]:
+    """Run the two-round distributing step for the agreed root ``z*``.
+
+    Args:
+        ctx: party context.
+        z_star: the agreed accumulator root.
+        holding: whether this party's own value matches ``z*``
+            (paper: "if z* = z").
+        shares: this party's codewords (used only when ``holding``).
+        witnesses: the matching witnesses (used only when ``holding``).
+        channel: accounting label prefix.
+
+    Returns:
+        The reconstructed value, or ``None`` if reconstruction fails or
+        the re-encode check rejects (both impossible when ``z*`` is an
+        honest party's commitment).
+    """
+    # Round 1 (line 3): holders send (j, s_j, w_j) to each P_j.
+    if holding:
+        outgoing = {
+            j: (j, shares[j], witnesses[j]) for j in ctx.all_parties
+        }
+    else:
+        outgoing = {}
+    inbox = yield from exchange(f"{channel}/r1", outgoing)
+
+    my_tuple = None
+    for message in inbox.values():
+        if valid_share_tuple(ctx, z_star, ctx.party_id, message):
+            my_tuple = message
+            break
+
+    # Round 2 (lines 4-5): forward the verified own-index tuple to all.
+    if my_tuple is not None:
+        inbox = yield from broadcast_round(ctx, f"{channel}/r2", my_tuple)
+    else:
+        inbox = yield from exchange(f"{channel}/r2", {})
+
+    # Lines 6-7: keep verified tuples, decode.
+    collected: dict[int, bytes] = {}
+    for message in inbox.values():
+        if not (isinstance(message, tuple) and len(message) == 3):
+            continue
+        i = message[0]
+        if not isinstance(i, int) or not 0 <= i < ctx.n:
+            continue
+        if valid_share_tuple(ctx, z_star, i, message):
+            collected.setdefault(i, message[1])
+    if my_tuple is not None:
+        collected.setdefault(ctx.party_id, my_tuple[1])
+
+    return decode_with_check(ctx, z_star, collected)
+
+
+def dispersal_bits_estimate(n: int, t: int, kappa: int, ell: int) -> int:
+    """Closed-form estimate of the distributing step's honest bits.
+
+    Each party sends at most two (index, share, witness) tuples to each
+    party: ``O(l n + kappa n^2 log n)``.  Used by the prediction module.
+    """
+    share_bits = 8 * rs_code(n, n - t).share_length((ell + 7) // 8)
+    witness = merkle.witness_bits(kappa, n)
+    index_bits = max(1, (n - 1).bit_length())
+    per_tuple = share_bits + witness + index_bits
+    return 2 * n * n * per_tuple

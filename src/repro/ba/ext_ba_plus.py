@@ -1,0 +1,66 @@
+"""``PI_lBA+``: long-message BA with Intrusion Tolerance and Bounded
+Pre-Agreement (paper Section 7, Theorem 1).
+
+Composition of the two previous pieces, following the outline of prior
+extension protocols [8, 41]:
+
+1. ``RS.ENCODE`` the l-bit input into ``n`` codewords and accumulate them
+   into a kappa-bit Merkle root ``z``,
+2. agree on a root ``z*`` via ``PI_BA+`` (which transports Intrusion
+   Tolerance and Bounded Pre-Agreement from roots back to values),
+3. if ``z* != bottom``, run the distributing step to reconstruct the
+   unique value committed by ``z*``.
+
+Cost: ``BITS_l(PI_lBA+) = O(l n + kappa n^2 log n) + BITS_kappa(PI_BA)``
+and ``ROUNDS_l = O(1) + ROUNDS_kappa(PI_BA)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim.party import Context, Proto
+from .ba_plus import ba_plus
+from .distribution import distribute, encode_and_accumulate
+from .phase_king import phase_king
+
+__all__ = ["ext_ba_plus"]
+
+
+def ext_ba_plus(
+    ctx: Context,
+    payload: bytes,
+    channel: str = "lba+",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[bytes | None]:
+    """Run ``PI_lBA+`` on an arbitrary-length byte payload.
+
+    Returns the agreed payload (guaranteed to be some honest party's
+    input) or ``None`` (bottom).  Bounded Pre-Agreement: ``None`` is only
+    possible when fewer than ``n - 2t`` honest parties joined with the
+    same payload.
+    """
+    ctx.require_resilience(3)
+    if not isinstance(payload, bytes):
+        raise TypeError(f"PI_lBA+ input must be bytes, got {type(payload)}")
+
+    # Line 1: encode and accumulate.
+    _, shares, root, witnesses = encode_and_accumulate(ctx, payload)
+
+    # Line 2: agree on the root via PI_BA+.
+    z_star = yield from ba_plus(
+        ctx, root, channel=f"{channel}/root", ba=ba
+    )
+    if z_star is None:
+        return None
+
+    # Lines 3-7: the distributing step.
+    value = yield from distribute(
+        ctx,
+        z_star,
+        holding=(z_star == root),
+        shares=shares,
+        witnesses=witnesses,
+        channel=f"{channel}/dist",
+    )
+    return value

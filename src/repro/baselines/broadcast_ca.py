@@ -1,0 +1,60 @@
+"""The ``O(l n^2)`` baseline: CA via broadcast extension protocols.
+
+Section 1 of the paper: "the synchronous model facilitates a
+straightforward approach for achieving CA through Synchronous Broadcast:
+each party sends its input value via BC, which provides the parties with
+an identical view of the inputs.  Afterwards, the parties decide on a
+common output by applying a deterministic function to the values
+received.  [...] this approach incurs a sub-optimal cost of at least
+``O(l n^2)`` bits."
+
+We reproduce that baseline as favourably as possible: each of the ``n``
+broadcast instances uses the communication-efficient extension broadcast
+of :mod:`repro.ba.broadcast` (``O(l n + kappa n^2 log n)`` per
+instance), so the total lands exactly at the ``O(l n^2)`` frontier the
+paper quotes -- the gap to the paper's ``O(l n)`` protocol is therefore
+intrinsic to the broadcast-everything approach, not an artefact of a
+weak broadcast.  The comparison benchmark (F1) plots both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..ba.broadcast import byzantine_broadcast
+from ..ba.phase_king import phase_king
+from ..sim.party import Context, Proto
+from .common import decode_int, encode_int, trimmed_median
+
+__all__ = ["broadcast_ca"]
+
+
+def broadcast_ca(
+    ctx: Context,
+    v_in: int,
+    channel: str = "bcca",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[int]:
+    """CA on integers via ``n`` broadcast-extension instances.
+
+    Guarantees for ``t < n/3``: Termination, Agreement, Convex Validity
+    (identical views + the trimmed-median rule).  Communication
+    ``O(l n^2 + kappa n^3 log n)`` bits.
+    """
+    ctx.require_resilience(3)
+    if not isinstance(v_in, int) or isinstance(v_in, bool):
+        raise ValueError(f"baseline input must be an integer, got {v_in!r}")
+    payload = encode_int(v_in)
+
+    view: list[int | None] = []
+    for sender in range(ctx.n):
+        delivered = yield from byzantine_broadcast(
+            ctx,
+            sender,
+            payload if sender == ctx.party_id else None,
+            channel=f"{channel}/bb{sender}",
+            ba=ba,
+        )
+        view.append(decode_int(delivered) if delivered is not None else None)
+
+    return trimmed_median(view, ctx.t)

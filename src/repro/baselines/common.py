@@ -1,0 +1,56 @@
+"""Shared pieces of the broadcast-based CA baselines.
+
+The classic approach the paper's introduction describes: every party
+broadcasts its input, giving all honest parties an *identical view* of
+n values (with bottom for failed broadcasts), and a deterministic rule
+maps the common view to a common output.  The rule must be
+hull-preserving; we use the standard trimmed median:
+
+* sort the non-bottom values (at least ``n - t`` of them -- honest
+  broadcasts always deliver);
+* discard the ``t`` lowest and ``t`` highest entries -- at most ``t``
+  values are byzantine, so the (t+1)-th smallest is at least the honest
+  minimum and the (t+1)-th largest at most the honest maximum;
+* output the median of the remainder (non-empty: ``n - 3t >= 1``).
+
+Integers cross the wire in a self-delimiting sign-magnitude encoding.
+"""
+
+from __future__ import annotations
+
+__all__ = ["encode_int", "decode_int", "trimmed_median"]
+
+_POSITIVE = 0x00
+_NEGATIVE = 0x01
+
+
+def encode_int(value: int) -> bytes:
+    """Sign-magnitude byte encoding of an arbitrary Python int."""
+    sign = _NEGATIVE if value < 0 else _POSITIVE
+    magnitude = abs(value)
+    body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+    return bytes([sign]) + body
+
+
+def decode_int(data: bytes) -> int | None:
+    """Inverse of :func:`encode_int`; ``None`` for malformed payloads."""
+    if not isinstance(data, bytes) or len(data) < 2:
+        return None
+    sign = data[0]
+    if sign not in (_POSITIVE, _NEGATIVE):
+        return None
+    magnitude = int.from_bytes(data[1:], "big")
+    if sign == _NEGATIVE and magnitude == 0:
+        return None  # normalise: no negative zero on the wire
+    return -magnitude if sign == _NEGATIVE else magnitude
+
+
+def trimmed_median(view: list[int | None], t: int) -> int:
+    """The deterministic hull-preserving rule applied to the common view."""
+    values = sorted(v for v in view if v is not None)
+    if len(values) <= 2 * t:
+        raise ValueError(
+            f"view with {len(values)} values cannot tolerate t={t}"
+        )
+    trimmed = values[t: len(values) - t] if t else values
+    return trimmed[len(trimmed) // 2]

@@ -1,0 +1,60 @@
+"""Round-parallel variant of the broadcast-based CA baseline.
+
+``broadcast_ca`` runs its ``n`` broadcast instances sequentially, which
+is simplest but pays ``n x`` the broadcast round bill.  The classic
+deployment runs all instances concurrently; this variant does exactly
+that via :func:`repro.sim.combinators.run_parallel`, giving the
+baseline its fair round complexity (one broadcast's rounds, not ``n``)
+at identical communication cost.
+
+Used by the F1 comparison notes and as the reference workload for the
+parallel-composition combinator's integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..ba.broadcast import byzantine_broadcast
+from ..ba.phase_king import phase_king
+from ..sim.combinators import run_parallel
+from ..sim.party import Context, Proto
+from .common import decode_int, encode_int, trimmed_median
+
+__all__ = ["parallel_broadcast_ca"]
+
+
+def parallel_broadcast_ca(
+    ctx: Context,
+    v_in: int,
+    channel: str = "pbcca",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[int]:
+    """CA via ``n`` *concurrent* broadcast-extension instances.
+
+    Same guarantees and asymptotic communication as
+    :func:`repro.baselines.broadcast_ca`; round complexity equals one
+    broadcast instance's instead of ``n`` of them.
+    """
+    ctx.require_resilience(3)
+    if not isinstance(v_in, int) or isinstance(v_in, bool):
+        raise ValueError(f"baseline input must be an integer, got {v_in!r}")
+    payload = encode_int(v_in)
+
+    branches = [
+        byzantine_broadcast(
+            ctx,
+            sender,
+            payload if sender == ctx.party_id else None,
+            channel=f"bb{sender}",
+            ba=ba,
+        )
+        for sender in range(ctx.n)
+    ]
+    delivered = yield from run_parallel(channel, branches)
+
+    view = [
+        decode_int(value) if value is not None else None
+        for value in delivered
+    ]
+    return trimmed_median(view, ctx.t)

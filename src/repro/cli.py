@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``     -- run Convex Agreement on a list of integer inputs under a
+  chosen adversary and print the outcome + communication stats.
+* ``sweep``   -- sweep one protocol over input lengths and print the
+  measurement table.
+* ``compare`` -- the F1 comparison (PI_Z vs baselines) at chosen sizes.
+* ``report``  -- regenerate the quick experiment report (T/F battery).
+
+Examples::
+
+    python -m repro run -1005 -1004 -1003 --adversary outlier
+    python -m repro sweep --protocol pi_z --n 7 --ells 256,1024,4096
+    python -m repro compare --n 7 --ells 1024,16384
+    python -m repro report --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    PROTOCOLS,
+    comparison_series,
+    format_measurements,
+    marginal_slope,
+    save_measurements,
+    series_chart,
+    sweep_ell,
+)
+from .analysis.report import FULL, QUICK, generate_report
+from .core.api import convex_agreement
+from .sim.adversary import (
+    Adversary,
+    CrashAdversary,
+    EquivocatingAdversary,
+    OutlierAdversary,
+    PassiveAdversary,
+    RandomGarbageAdversary,
+    SplitVoteAdversary,
+)
+
+__all__ = ["main", "build_parser"]
+
+ADVERSARIES: dict[str, type[Adversary]] = {
+    "passive": PassiveAdversary,
+    "crash": CrashAdversary,
+    "garbage": RandomGarbageAdversary,
+    "equivocate": EquivocatingAdversary,
+    "outlier": OutlierAdversary,
+    "splitvote": SplitVoteAdversary,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Communication-Optimal Convex Agreement (PODC 2024) "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run convex agreement on inputs")
+    run.add_argument("inputs", nargs="+", type=int,
+                     help="one integer input per party")
+    run.add_argument("--t", type=int, default=None,
+                     help="corruption bound (default: floor((n-1)/3))")
+    run.add_argument("--kappa", type=int, default=128)
+    run.add_argument("--adversary", choices=sorted(ADVERSARIES),
+                     default="passive")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--channels", action="store_true",
+                     help="print the per-channel cost breakdown")
+    run.add_argument(
+        "--setting", choices=["plain", "authenticated"], default="plain",
+        help="plain model (t < n/3) or signatures (t < n/2)",
+    )
+
+    sweep = sub.add_parser("sweep", help="sweep a protocol over ell")
+    sweep.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                       default="pi_z")
+    sweep.add_argument("--n", type=int, default=7)
+    sweep.add_argument("--t", type=int, default=None)
+    sweep.add_argument("--ells", type=_int_list, default=[256, 1024, 4096])
+    sweep.add_argument("--kappa", type=int, default=128)
+    sweep.add_argument("--spread",
+                       choices=["spread", "clustered", "identical"],
+                       default="clustered")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--save", default=None,
+                       help="write the measurements to a JSON file")
+
+    compare = sub.add_parser("compare", help="PI_Z vs the baselines (F1)")
+    compare.add_argument("--n", type=int, default=7)
+    compare.add_argument("--ells", type=_int_list, default=[1024, 16384])
+    compare.add_argument(
+        "--protocols", type=_str_list,
+        default=["pi_z", "broadcast_ca", "high_cost_ca"],
+    )
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--chart", action="store_true",
+                         help="render an ASCII log-log chart")
+    compare.add_argument("--save", default=None,
+                         help="write the measurements to a JSON file")
+
+    report = sub.add_parser("report", help="regenerate the experiment report")
+    report.add_argument("--scale", choices=["quick", "full"],
+                        default="quick")
+    report.add_argument("--output", default=None,
+                        help="write the report to a file instead of stdout")
+
+    return parser
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _str_list(text: str) -> list[str]:
+    return [part for part in text.split(",") if part]
+
+
+def _cmd_run(args) -> int:
+    adversary = ADVERSARIES[args.adversary](seed=args.seed)
+    if args.setting == "authenticated":
+        outcome = _run_authenticated(args, adversary)
+    else:
+        outcome = convex_agreement(
+            args.inputs, t=args.t, kappa=args.kappa, adversary=adversary
+        )
+    honest = [
+        v for i, v in enumerate(args.inputs) if i not in outcome.corrupted
+    ]
+    print(f"inputs           : {args.inputs}")
+    print(f"corrupted parties: {sorted(outcome.corrupted)}")
+    print(f"adversary        : {adversary.describe()}")
+    print(f"agreed output    : {outcome.value}")
+    print(f"honest range     : [{min(honest)}, {max(honest)}]")
+    print(f"honest bits sent : {outcome.stats.honest_bits:,}")
+    print(f"rounds           : {outcome.stats.rounds}")
+    if args.channels:
+        print("\nper-channel breakdown (top 15):")
+        for channel, bits, msgs in outcome.stats.channel_report()[:15]:
+            print(f"  {channel:<44} {bits:>10,} bits {msgs:>7,} msgs")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    measurements = sweep_ell(
+        args.protocol, args.n, args.ells, t=args.t, kappa=args.kappa,
+        seed=args.seed, spread=args.spread,
+    )
+    print(
+        format_measurements(
+            measurements,
+            title=f"{args.protocol}: bits vs ell (n={args.n})",
+        )
+    )
+    if len(measurements) >= 2:
+        slope = marginal_slope(
+            [m.ell for m in measurements], [m.bits for m in measurements]
+        )
+        print(f"\nmarginal cost: {slope:.1f} bits per extra input bit")
+    if args.save:
+        save_measurements(args.save, measurements)
+        print(f"measurements saved to {args.save}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    series = comparison_series(
+        args.protocols, n=args.n, ells=args.ells, seed=args.seed
+    )
+    for protocol in args.protocols:
+        print(format_measurements(series[protocol], title=protocol))
+        ms = series[protocol]
+        if len(ms) >= 2:
+            slope = marginal_slope(
+                [m.ell for m in ms], [m.bits for m in ms]
+            )
+            print(f"marginal slope: {slope:.1f} bits/input-bit\n")
+    print(
+        f"paper's prediction: ~n={args.n}, ~n^2={args.n ** 2}, "
+        f"~n^3={args.n ** 3}"
+    )
+    if args.chart and len(args.ells) >= 2:
+        print()
+        print(series_chart(series))
+    if args.save:
+        flat = [m for ms in series.values() for m in ms]
+        save_measurements(args.save, flat)
+        print(f"measurements saved to {args.save}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    scale = QUICK if args.scale == "quick" else FULL
+    text = generate_report(scale)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _run_authenticated(args, adversary):
+    from .authenticated import authenticated_ca
+    from .core.api import ConvexAgreementOutcome
+    from .crypto.signatures import SignatureScheme
+    from .sim.runner import run_protocol
+
+    n = len(args.inputs)
+    t = args.t if args.t is not None else (n - 1) // 2
+    scheme = SignatureScheme(args.kappa, n)
+    execution = run_protocol(
+        lambda ctx, v: authenticated_ca(ctx, v, scheme),
+        args.inputs, n=n, t=t, kappa=args.kappa, adversary=adversary,
+    )
+    return ConvexAgreementOutcome(
+        value=execution.common_output(), execution=execution
+    )
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Coding substrate: Galois fields and Reed-Solomon erasure codes."""
+
+from .gf import GF256, GF65536, BinaryField
+from .reed_solomon import ReedSolomonCode, rs_code
+
+__all__ = [
+    "BinaryField",
+    "GF256",
+    "GF65536",
+    "ReedSolomonCode",
+    "rs_code",
+]

@@ -1,0 +1,170 @@
+"""Binary Galois field arithmetic ``GF(2^a)``.
+
+Section 7 of the paper requires Reed-Solomon codewords to be elements of
+a Galois field ``GF(2^a)`` with ``n <= 2^a - 1``.  We provide a generic
+:class:`BinaryField` with log/antilog tables plus numpy-vectorised bulk
+operations (the long-message benchmarks encode hundreds of kilobits, so
+the per-symbol hot path must be array-based, not per-element Python).
+
+Two standard instantiations are exported:
+
+* :data:`GF256` -- ``GF(2^8)``, used in unit tests (small, fast tables),
+* :data:`GF65536` -- ``GF(2^16)``, the production field (supports up to
+  65535 parties, far beyond any simulated ``n``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BinaryField", "GF256", "GF65536"]
+
+
+class BinaryField:
+    """``GF(2^degree)`` with the given irreducible modulus polynomial."""
+
+    def __init__(self, degree: int, modulus: int) -> None:
+        if not 1 <= degree <= 16:
+            raise ValueError(f"unsupported field degree {degree}")
+        self.degree = degree
+        self.modulus = modulus
+        self.order = 1 << degree          # field size q
+        self.mul_group_order = self.order - 1
+
+        # exp table doubled so exp[log a + log b] never needs a modulo.
+        exp = np.zeros(2 * self.mul_group_order, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        x = 1
+        for i in range(self.mul_group_order):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.order:
+                x ^= modulus
+            if x == 1 and i < self.mul_group_order - 1:
+                raise ValueError(
+                    f"0x{modulus:X} is not primitive for degree {degree}"
+                )
+        if x != 1:
+            raise ValueError(
+                f"0x{modulus:X} is not primitive for degree {degree}"
+            )
+        exp[self.mul_group_order:] = exp[: self.mul_group_order]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar ops -------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Addition = subtraction = XOR in characteristic 2."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """GF product of two field elements."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on 0."""
+        if a == 0:
+            raise ZeroDivisionError("no inverse of 0 in a field")
+        return int(self._exp[self.mul_group_order - self._log[a]])
+
+    def div(self, a: int, b: int) -> int:
+        """GF quotient ``a / b``."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """GF exponentiation via the log table."""
+        if exponent == 0:
+            return 1
+        if a == 0:
+            return 0
+        idx = (self._log[a] * exponent) % self.mul_group_order
+        return int(self._exp[idx])
+
+    # -- vectorised ops ---------------------------------------------------
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise GF product of two broadcastable int arrays."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        result = self._exp[self._log[a] + self._log[b]]
+        zero = (a == 0) | (b == 0)
+        return np.where(zero, 0, result)
+
+    def scalar_mul_vec(self, scalar: int, vec: np.ndarray) -> np.ndarray:
+        """GF product of one scalar with an int array."""
+        if scalar == 0:
+            return np.zeros_like(np.asarray(vec, dtype=np.int64))
+        vec = np.asarray(vec, dtype=np.int64)
+        result = self._exp[self._log[scalar] + self._log[vec]]
+        return np.where(vec == 0, 0, result)
+
+    def matmul(self, matrix: list[list[int]], data: np.ndarray) -> np.ndarray:
+        """GF matrix product ``matrix (r x k) @ data (k x c) -> (r x c)``.
+
+        ``k`` is small (<= n parties) so the outer loop is Python while the
+        chunk dimension ``c`` (message length / k) stays vectorised.
+        """
+        data = np.asarray(data, dtype=np.int64)
+        rows = len(matrix)
+        cols = data.shape[1]
+        out = np.zeros((rows, cols), dtype=np.int64)
+        for r, row in enumerate(matrix):
+            acc = np.zeros(cols, dtype=np.int64)
+            for k, coeff in enumerate(row):
+                if coeff:
+                    acc ^= self.scalar_mul_vec(coeff, data[k])
+            out[r] = acc
+        return out
+
+    # -- linear algebra -----------------------------------------------------
+    def invert_matrix(self, matrix: list[list[int]]) -> list[list[int]]:
+        """Invert a square GF matrix by Gauss-Jordan elimination."""
+        size = len(matrix)
+        work = [list(row) for row in matrix]
+        if any(len(row) != size for row in work):
+            raise ValueError("matrix must be square")
+        inverse = [
+            [1 if r == c else 0 for c in range(size)] for r in range(size)
+        ]
+        for col in range(size):
+            pivot_row = next(
+                (r for r in range(col, size) if work[r][col]), None
+            )
+            if pivot_row is None:
+                raise ValueError("matrix is singular over GF")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            inverse[col], inverse[pivot_row] = (
+                inverse[pivot_row],
+                inverse[col],
+            )
+            pivot_inv = self.inv(work[col][col])
+            work[col] = [self.mul(pivot_inv, x) for x in work[col]]
+            inverse[col] = [self.mul(pivot_inv, x) for x in inverse[col]]
+            for r in range(size):
+                if r == col or not work[r][col]:
+                    continue
+                factor = work[r][col]
+                work[r] = [
+                    x ^ self.mul(factor, y)
+                    for x, y in zip(work[r], work[col])
+                ]
+                inverse[r] = [
+                    x ^ self.mul(factor, y)
+                    for x, y in zip(inverse[r], inverse[col])
+                ]
+        return inverse
+
+    def vandermonde(self, points: list[int], width: int) -> list[list[int]]:
+        """Rows ``[x^0, x^1, ..., x^{width-1}]`` for each evaluation point."""
+        return [
+            [self.pow(x, j) for j in range(width)] for x in points
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BinaryField(GF(2^{self.degree}))"
+
+
+GF256 = BinaryField(8, 0x11D)
+GF65536 = BinaryField(16, 0x1100B)

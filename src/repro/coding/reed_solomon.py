@@ -1,0 +1,144 @@
+"""Reed-Solomon erasure codes with parameters ``(n, k = n - t)``.
+
+Section 7: ``RS.ENCODE(v)`` splits a value into ``n`` codewords of
+``O(|BITS(v)|/n)`` bits each such that any ``n - t`` of them reconstruct
+``v`` (``RS.DECODE``).  Corrupted codewords are filtered *upstream* by
+Merkle witnesses, so pure erasure decoding suffices -- exactly the
+structure of ``PI_lBA+``'s distributing step.
+
+Construction (classic polynomial-evaluation RS over ``GF(2^a)``):
+
+* the payload bytes are framed with a 4-byte length header, padded, and
+  read as field symbols ``d_0 .. d_{m-1}``,
+* symbols are grouped into chunks of ``k``; chunk ``c`` defines the
+  polynomial ``p_c(x) = sum_j d_{ck+j} x^j`` of degree ``< k``,
+* codeword ``i`` is the evaluation vector ``(p_0(x_i), p_1(x_i), ...)``
+  at the distinct non-zero point ``x_i = i + 1``,
+* decoding from any ``k`` codewords inverts the corresponding ``k x k``
+  Vandermonde submatrix (Gauss-Jordan over GF) and recovers all chunks
+  with one vectorised matrix product.
+
+The codec object precomputes the generator matrix once per ``(n, k)``
+pair; encode/decode are then numpy-bound, which keeps the very-long-input
+experiments (hundreds of kilobits) fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import CodingError
+from .gf import GF65536, BinaryField
+
+__all__ = ["ReedSolomonCode", "rs_code"]
+
+_LENGTH_HEADER_BYTES = 4
+
+
+class ReedSolomonCode:
+    """An ``(n, k)`` erasure code over ``GF(2^a)`` (default ``a = 16``)."""
+
+    def __init__(
+        self, n: int, k: int, field: BinaryField = GF65536
+    ) -> None:
+        if not 1 <= k <= n:
+            raise CodingError(f"need 1 <= k <= n, got n={n}, k={k}")
+        if n >= field.order:
+            raise CodingError(
+                f"field GF(2^{field.degree}) supports at most "
+                f"{field.order - 1} codewords, asked for {n}"
+            )
+        self.n = n
+        self.k = k
+        self.field = field
+        self.symbol_bytes = field.degree // 8
+        if field.degree % 8:
+            raise CodingError("field degree must be a multiple of 8")
+        self.points = [i + 1 for i in range(n)]
+        self.generator = field.vandermonde(self.points, k)
+
+    # -- byte <-> symbol plumbing -----------------------------------------
+    def _frame(self, data: bytes) -> np.ndarray:
+        """Length-frame, pad, and read ``data`` as a (k, chunks) array."""
+        framed = len(data).to_bytes(_LENGTH_HEADER_BYTES, "big") + data
+        stride = self.symbol_bytes * self.k
+        padding = (-len(framed)) % stride
+        framed += b"\x00" * padding
+        dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
+        symbols = np.frombuffer(framed, dtype=dtype).astype(np.int64)
+        return symbols.reshape(-1, self.k).T  # (k, chunks)
+
+    def _unframe(self, symbols: np.ndarray) -> bytes:
+        """Inverse of :meth:`_frame`; raises :class:`CodingError` on junk."""
+        dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
+        flat = symbols.T.reshape(-1).astype(dtype)
+        framed = flat.tobytes()
+        if len(framed) < _LENGTH_HEADER_BYTES:
+            raise CodingError("decoded payload shorter than length header")
+        length = int.from_bytes(framed[:_LENGTH_HEADER_BYTES], "big")
+        body = framed[_LENGTH_HEADER_BYTES:]
+        if length > len(body):
+            raise CodingError(
+                f"framed length {length} exceeds decoded payload {len(body)}"
+            )
+        if any(body[length:]):
+            raise CodingError("non-zero padding in decoded payload")
+        return body[:length]
+
+    # -- public API ---------------------------------------------------------
+    def encode(self, data: bytes) -> list[bytes]:
+        """``RS.ENCODE``: return the ``n`` codewords of ``data``."""
+        chunks = self._frame(data)                      # (k, c)
+        evaluations = self.field.matmul(self.generator, chunks)  # (n, c)
+        dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
+        return [
+            evaluations[i].astype(dtype).tobytes() for i in range(self.n)
+        ]
+
+    def share_length(self, data_len: int) -> int:
+        """Byte length every codeword of a ``data_len``-byte value has."""
+        framed = data_len + _LENGTH_HEADER_BYTES
+        stride = self.symbol_bytes * self.k
+        chunks = (framed + stride - 1) // stride
+        return chunks * self.symbol_bytes
+
+    def decode(self, shares: dict[int, bytes]) -> bytes:
+        """``RS.DECODE``: reconstruct from >= k erasure-free codewords.
+
+        ``shares`` maps codeword index -> codeword bytes.  Exactly the
+        first ``k`` indices (sorted) are used.  Raises
+        :class:`~repro.errors.CodingError` for malformed share sets.
+        """
+        if len(shares) < self.k:
+            raise CodingError(
+                f"need at least k={self.k} shares, got {len(shares)}"
+            )
+        indices = sorted(shares)[: self.k]
+        if any(not 0 <= i < self.n for i in indices):
+            raise CodingError(f"share index out of range in {indices}")
+        lengths = {len(shares[i]) for i in indices}
+        if len(lengths) != 1:
+            raise CodingError(f"inconsistent share lengths {sorted(lengths)}")
+        (length,) = lengths
+        if length == 0 or length % self.symbol_bytes:
+            raise CodingError(f"share length {length} not a symbol multiple")
+
+        dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
+        received = np.stack(
+            [
+                np.frombuffer(shares[i], dtype=dtype).astype(np.int64)
+                for i in indices
+            ]
+        )  # (k, c)
+        submatrix = [self.generator[i] for i in indices]
+        decode_matrix = self.field.invert_matrix(submatrix)
+        chunks = self.field.matmul(decode_matrix, received)  # (k, c)
+        return self._unframe(chunks)
+
+
+@lru_cache(maxsize=64)
+def rs_code(n: int, k: int) -> ReedSolomonCode:
+    """Cached ``(n, k)`` codec over the production field ``GF(2^16)``."""
+    return ReedSolomonCode(n, k)

@@ -1,0 +1,83 @@
+"""``AddLastBit`` (Section 3) and ``AddLastBlock`` (Section 4).
+
+After ``FindPrefix`` the parties hold the same ``PREFIX*`` of ``i*``
+units and valid values ``v`` extending it.  Before ``GetOutput`` can
+choose between ``MIN_l`` and ``MAX_l``, the prefix must grow by exactly
+one unit (so that the ``t + 1`` avoidance witnesses ``v_bot`` really do
+avoid it):
+
+* the bit variant agrees on the next bit with one binary ``PI_BA``
+  invocation (Validity of binary BA makes the agreed bit an honest
+  party's bit, so the extended prefix is still some valid value's
+  prefix, Lemma 2);
+* the block variant agrees on the next ``l / n^2``-bit block by running
+  ``HighCostCA`` on the honest parties' block values -- any block in
+  their range extends the prefix of *some* valid value (Lemma 5), and
+  since the block is only ``l / n^2`` bits, the ``O(block * n^3)`` cost
+  is ``O(l n)`` overall.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..ba.domains import BIT_DOMAIN
+from ..ba.phase_king import phase_king
+from ..sim.party import Context, Proto
+from .bitstrings import BitString, bits_fixed
+from .high_cost_ca import high_cost_ca
+
+__all__ = ["add_last_bit", "add_last_block"]
+
+
+def add_last_bit(
+    ctx: Context,
+    prefix: BitString,
+    v: int,
+    ell: int,
+    channel: str = "alb",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[BitString]:
+    """Extend ``prefix`` by one agreed bit of the honest values ``v``."""
+    if prefix.length >= ell:
+        raise ValueError(
+            f"prefix of {prefix.length} bits cannot be extended within "
+            f"ell={ell}"
+        )
+    my_bit = bits_fixed(v, ell)[prefix.length]
+    agreed_bit = yield from ba(
+        ctx, my_bit, BIT_DOMAIN, channel=f"{channel}/ba"
+    )
+    if agreed_bit not in (0, 1):
+        # The binary domain forces this already; stay deterministic.
+        agreed_bit = 0
+    return prefix.append_bit(agreed_bit)
+
+
+def add_last_block(
+    ctx: Context,
+    prefix: BitString,
+    v: int,
+    ell: int,
+    block_bits: int,
+    channel: str = "albk",
+) -> Proto[BitString]:
+    """Extend ``prefix`` by one agreed block via ``HighCostCA``."""
+    if block_bits <= 0 or prefix.length % block_bits:
+        raise ValueError(
+            f"prefix of {prefix.length} bits is not block-aligned "
+            f"(block_bits={block_bits})"
+        )
+    if prefix.length + block_bits > ell:
+        raise ValueError("cannot extend prefix beyond ell bits")
+    i_star = prefix.length // block_bits
+    block = bits_fixed(v, ell)[
+        i_star * block_bits: (i_star + 1) * block_bits
+    ]
+    agreed_value = yield from high_cost_ca(
+        ctx, block.value, channel=f"{channel}/hc"
+    )
+    # Convex Validity of HighCostCA keeps the agreed value within the
+    # honest block range, hence within block_bits bits.
+    agreed_block = bits_fixed(agreed_value, block_bits)
+    return prefix.concat(agreed_block)

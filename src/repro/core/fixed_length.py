@@ -1,0 +1,104 @@
+"""``FixedLengthCA`` (Section 3) and ``FixedLengthCABlocks`` (Section 4).
+
+Both protocols assume the honest parties hold valid ``ell``-bit inputs in
+N with ``ell`` publicly known, and compose the same three phases:
+
+1. ``FindPrefix`` / ``FindPrefixBlocks`` -- agree on ``PREFIX*`` and
+   obtain the values ``v`` (prefix-consistent) and ``v_bot`` (avoidance
+   witnesses);
+2. if ``|PREFIX*| = ell`` all parties hold the same valid ``v``: done;
+   otherwise ``AddLastBit`` / ``AddLastBlock`` extends the prefix by one
+   unit;
+3. ``GetOutput`` turns the ``t + 1`` witnesses into a common choice of
+   ``MIN_l(PREFIX*)`` or ``MAX_l(PREFIX*)``.
+
+Complexities (Theorems 2 and 4, with ``PI_BA`` = Phase-King measured
+separately):
+
+* ``FixedLengthCA``: ``O(l n + kappa n^2 log n log l)`` bits,
+  ``O(log l) * ROUNDS(PI_BA)`` rounds -- optimal for ``l in poly(n)``;
+* ``FixedLengthCABlocks``: ``O(l n + kappa n^2 log^2 n)`` bits,
+  ``O(n) + O(log n) * ROUNDS(PI_BA)`` rounds -- for ``l >= n^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..ba.phase_king import phase_king
+from ..sim.party import Context, Proto
+from .add_last import add_last_bit, add_last_block
+from .find_prefix import find_prefix
+from .get_output import get_output
+
+__all__ = ["fixed_length_ca", "fixed_length_ca_blocks"]
+
+
+def fixed_length_ca(
+    ctx: Context,
+    v_in: int,
+    ell: int,
+    channel: str = "flca",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[int]:
+    """CA for ``ell``-bit inputs in N with publicly known ``ell``.
+
+    Honest callers must pass ``0 <= v_in < 2**ell``; the caller (``PI_N``)
+    establishes this by clamping to ``2**ell - 1``, which Theorem 5's
+    argument shows preserves validity.
+    """
+    result = yield from find_prefix(
+        ctx, v_in, ell, unit_bits=1, channel=f"{channel}/fp", ba=ba
+    )
+    if result.prefix.length == ell:
+        return result.v
+
+    prefix = yield from add_last_bit(
+        ctx, result.prefix, result.v, ell, channel=f"{channel}/al", ba=ba
+    )
+    output = yield from get_output(
+        ctx, prefix, result.v_bot, ell, channel=f"{channel}/go", ba=ba
+    )
+    return output
+
+
+def fixed_length_ca_blocks(
+    ctx: Context,
+    v_in: int,
+    ell: int,
+    num_blocks: int | None = None,
+    channel: str = "flcab",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[int]:
+    """CA for very long ``ell``-bit inputs (``ell`` a multiple of n^2).
+
+    Identical to :func:`fixed_length_ca` but the prefix search works on
+    blocks of ``ell / n^2`` bits and the last unit is agreed via
+    ``HighCostCA`` on a single block.
+    """
+    if num_blocks is None:
+        num_blocks = ctx.n * ctx.n
+    if ell % num_blocks:
+        raise ValueError(
+            f"ell={ell} must be a multiple of num_blocks={num_blocks}"
+        )
+    block_bits = ell // num_blocks
+
+    result = yield from find_prefix(
+        ctx, v_in, ell, unit_bits=block_bits, channel=f"{channel}/fp", ba=ba
+    )
+    if result.prefix.length == ell:
+        return result.v
+
+    prefix = yield from add_last_block(
+        ctx,
+        result.prefix,
+        result.v,
+        ell,
+        block_bits,
+        channel=f"{channel}/al",
+    )
+    output = yield from get_output(
+        ctx, prefix, result.v_bot, ell, channel=f"{channel}/go", ba=ba
+    )
+    return output

@@ -1,0 +1,112 @@
+"""``PI_N`` (Section 5): the final CA protocol for N with unknown length.
+
+``FixedLengthCA`` is optimal for ``l in poly(n)``; ``FixedLengthCABlocks``
+handles arbitrarily long inputs but needs ``l >= n^2``.  ``PI_N`` removes
+the publicly-known-length assumption and dispatches between them:
+
+1. one bit-BA decides whether the parties' inputs are short
+   (``|BITS(v)| <= n^2``) or long;
+2. *short*: parties clamp to ``2^{n^2} - 1`` if needed, then find the
+   length estimate ``l_EST`` by comparing against powers of two with
+   ``O(log n)`` further bit-BAs, and run ``FixedLengthCA``;
+3. *long*: parties agree on a common block size with ``HighCostCA``
+   (cheap: block sizes are ``O(log l)``-bit values... the paper notes
+   ``O(l / n^2)`` bits suffice), set ``l_EST = BLOCKSIZE' * n^2``, clamp,
+   and run ``FixedLengthCABlocks``.
+
+Every clamp in the pseudocode replaces a too-long input with
+``2^{l_EST} - 1``; Theorem 5's proof shows the clamped value is always in
+the honest inputs' range, so Convex Validity is preserved.
+
+Note on the pseudocode's line 10: the paper clamps when
+``|BITS(v)| >= l_EST``, but a value of exactly ``l_EST`` bits already
+fits in ``l_EST`` bits, and clamping it to ``2^{l_EST} - 1`` could leave
+the honest range (e.g. all honest inputs equal and exactly ``l_EST``
+bits long).  We clamp on strict ``>``, consistent with lines 3 and 7 and
+with the validity argument in the proof of Theorem 5; DESIGN.md records
+this as an erratum.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..ba.domains import BIT_DOMAIN
+from ..ba.phase_king import phase_king
+from ..errors import ProtocolViolation
+from ..sim.party import Context, Proto
+from .fixed_length import fixed_length_ca, fixed_length_ca_blocks
+from .high_cost_ca import high_cost_ca
+
+__all__ = ["protocol_n"]
+
+
+def protocol_n(
+    ctx: Context,
+    v_in: int,
+    channel: str = "piN",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[int]:
+    """Run ``PI_N`` on an arbitrary natural-number input.
+
+    Guarantees (Theorem 5): Termination, Agreement, Convex Validity, with
+    ``O(l n + kappa n^2 log^2 n)`` bits beyond the ``PI_BA`` term and
+    ``O(n) + O(log n) * ROUNDS(PI_BA)`` rounds.
+    """
+    ctx.require_resilience(3)
+    if not isinstance(v_in, int) or isinstance(v_in, bool) or v_in < 0:
+        raise ValueError(f"PI_N input must be in N, got {v_in!r}")
+
+    n_squared = ctx.n * ctx.n
+    length = v_in.bit_length()
+
+    # Line 1: classify short vs long inputs.
+    long_bit = yield from ba(
+        ctx,
+        0 if length <= n_squared else 1,
+        BIT_DOMAIN,
+        channel=f"{channel}/class",
+    )
+
+    if long_bit == 0:
+        # Lines 2-7: short inputs.
+        v = v_in
+        if v.bit_length() > n_squared:
+            v = (1 << n_squared) - 1
+        max_exp = max(1, n_squared).bit_length()
+        # i = 0 .. ceil(log2 n^2): compare against 2^i.
+        for i in range(max_exp + 1):
+            threshold = 1 << i
+            short_enough = 0 if v.bit_length() <= threshold else 1
+            decided = yield from ba(
+                ctx, short_enough, BIT_DOMAIN, channel=f"{channel}/len{i}"
+            )
+            if decided == 0:
+                ell_est = threshold
+                if v.bit_length() > ell_est:
+                    v = (1 << ell_est) - 1
+                output = yield from fixed_length_ca(
+                    ctx, v, ell_est, channel=f"{channel}/flca", ba=ba
+                )
+                return output
+        # All honest values fit in 2^{ceil(log2 n^2)} >= n^2 bits after
+        # clamping, so BA Validity forces a 0 by the last iteration.
+        raise ProtocolViolation("PI_N length estimation never settled")
+
+    # Lines 8-11: long inputs.
+    block_size = -(-v_in.bit_length() // n_squared)  # ceil division
+    agreed_block_size = yield from high_cost_ca(
+        ctx, block_size, channel=f"{channel}/bsize"
+    )
+    ell_est = agreed_block_size * n_squared
+    if ell_est == 0:
+        # Convex Validity of HighCostCA: block size 0 implies some honest
+        # party held the input 0, so 0 is a valid common output.
+        return 0
+    v = v_in
+    if v.bit_length() > ell_est:
+        v = (1 << ell_est) - 1
+    output = yield from fixed_length_ca_blocks(
+        ctx, v, ell_est, channel=f"{channel}/flcab", ba=ba
+    )
+    return output

@@ -1,0 +1,57 @@
+"""``PI_Z`` (Section 6): CA for integers.
+
+Inputs are represented as ``(-1)^SIGN * magnitude`` with
+``magnitude in N``.  One binary BA fixes the common output sign; a party
+whose own sign differs resets its magnitude to 0 -- zero is guaranteed to
+be in the honest range whenever both signs occur among honest inputs --
+and the parties finish with ``PI_N`` on the magnitudes (Corollary 1).
+
+With ``PI_BA`` instantiated by a deterministic quadratic protocol the
+paper obtains its headline result (Corollary 2):
+
+    ``BITS_l(PI_Z) = O(l n + kappa n^2 log^2 n)``,
+    ``ROUNDS_l(PI_Z) = O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..ba.domains import BIT_DOMAIN
+from ..ba.phase_king import phase_king
+from ..sim.party import Context, Proto
+from .protocol_n import protocol_n
+
+__all__ = ["protocol_z"]
+
+
+def protocol_z(
+    ctx: Context,
+    v_in: int,
+    channel: str = "piZ",
+    ba: Callable[..., Proto[Any]] = phase_king,
+) -> Proto[int]:
+    """Run ``PI_Z`` on an arbitrary integer input."""
+    ctx.require_resilience(3)
+    if not isinstance(v_in, int) or isinstance(v_in, bool):
+        raise ValueError(f"PI_Z input must be an integer, got {v_in!r}")
+
+    sign_in = 1 if v_in < 0 else 0
+    magnitude = abs(v_in)
+
+    # Line 1: agree on the output sign.
+    sign_out = yield from ba(
+        ctx, sign_in, BIT_DOMAIN, channel=f"{channel}/sign"
+    )
+
+    # Line 2: parties on the wrong side of zero reset to 0 (valid
+    # whenever the agreed sign was proposed by an honest party, which
+    # binary BA Validity guarantees).
+    if sign_out != sign_in:
+        magnitude = 0
+    agreed_magnitude = yield from protocol_n(
+        ctx, magnitude, channel=f"{channel}/nat", ba=ba
+    )
+
+    # Line 3.
+    return -agreed_magnitude if sign_out == 1 else agreed_magnitude

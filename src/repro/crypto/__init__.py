@@ -1,0 +1,14 @@
+"""Cryptographic substrate: collision-resistant hashing and Merkle trees."""
+
+from .hashing import digest_size_bytes, hash_bytes, hash_parts
+from .merkle import MerkleWitness, build, verify, witness_bits
+
+__all__ = [
+    "MerkleWitness",
+    "build",
+    "digest_size_bytes",
+    "hash_bytes",
+    "hash_parts",
+    "verify",
+    "witness_bits",
+]

@@ -1,0 +1,48 @@
+"""Collision-resistant hashing ``H_kappa``.
+
+The paper assumes a collision-resistant hash
+``H_kappa: {0,1}* -> {0,1}^kappa`` and proves its protocols secure
+conditioned on no collision occurring.  We instantiate ``H_kappa`` with
+SHA-256 truncated to ``kappa`` bits (kappa <= 256), the standard
+instantiation for this assumption.
+
+Digests are plain ``bytes`` of ``kappa / 8`` bytes, so the wire-sizing
+layer automatically prices them at ``kappa`` bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["hash_bytes", "hash_parts", "digest_size_bytes"]
+
+_MAX_KAPPA = 256
+
+
+def digest_size_bytes(kappa: int) -> int:
+    """Digest length in bytes for security parameter ``kappa``."""
+    if kappa < 8 or kappa % 8 or kappa > _MAX_KAPPA:
+        raise ValueError(
+            f"kappa must be a multiple of 8 in [8, {_MAX_KAPPA}], got {kappa}"
+        )
+    return kappa // 8
+
+
+def hash_bytes(kappa: int, data: bytes) -> bytes:
+    """``H_kappa(data)``: SHA-256 truncated to ``kappa`` bits."""
+    return hashlib.sha256(data).digest()[: digest_size_bytes(kappa)]
+
+
+def hash_parts(kappa: int, *parts: bytes) -> bytes:
+    """Hash a sequence of byte strings with unambiguous length framing.
+
+    Each part is prefixed with its 4-byte big-endian length so that
+    ``hash_parts(a, b) != hash_parts(a + b)`` -- the framing removes
+    concatenation ambiguity, preserving collision resistance for
+    structured inputs (Merkle nodes, leaf encodings, ...).
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(4, "big"))
+        hasher.update(part)
+    return hasher.digest()[: digest_size_bytes(kappa)]

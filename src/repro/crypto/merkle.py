@@ -1,0 +1,134 @@
+"""Merkle trees: the collision-free accumulator of Section 7.
+
+The paper compresses the multiset of a value's ``n`` Reed-Solomon
+codewords into a ``kappa``-bit root ``z`` and hands each party a witness
+``w_i`` of ``O(kappa * log n)`` bits proving that codeword ``s_i`` is the
+i-th accumulated element:
+
+* ``MT.BUILD(S) -> (z, w_1..w_n)`` is :func:`build`,
+* ``MT.VERIFY(z, i, s_i, w_i) -> bool`` is :func:`verify`.
+
+Implementation notes:
+
+* leaves store ``H(0x00 || leaf)`` and interior nodes
+  ``H(0x01 || left || right)`` -- the domain separation prevents
+  leaf/node confusion attacks,
+* the tree is padded to a power of two with a distinguished empty-leaf
+  hash, so witnesses always have ``ceil(log2 n)`` siblings,
+* :func:`verify` is fully defensive: malformed byzantine witnesses make
+  it return ``False`` instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.sizing import WireSized
+from .hashing import digest_size_bytes, hash_parts
+
+__all__ = ["MerkleWitness", "build", "verify", "witness_bits"]
+
+_LEAF_TAG = b"\x00"
+_NODE_TAG = b"\x01"
+_EMPTY_TAG = b"\x02"
+
+
+@dataclass(frozen=True)
+class MerkleWitness(WireSized):
+    """Authentication path for one leaf: sibling hashes bottom-up."""
+
+    index: int
+    siblings: tuple[bytes, ...]
+
+    def wire_bits(self) -> int:
+        """Wire cost: path hashes plus the leaf index."""
+        index_bits = max(1, self.index.bit_length())
+        return index_bits + sum(8 * len(h) for h in self.siblings)
+
+
+def _leaf_hash(kappa: int, leaf: bytes) -> bytes:
+    return hash_parts(kappa, _LEAF_TAG, leaf)
+
+
+def _node_hash(kappa: int, left: bytes, right: bytes) -> bytes:
+    return hash_parts(kappa, _NODE_TAG, left, right)
+
+
+def _empty_hash(kappa: int) -> bytes:
+    return hash_parts(kappa, _EMPTY_TAG)
+
+
+def build(
+    kappa: int, leaves: list[bytes]
+) -> tuple[bytes, list[MerkleWitness]]:
+    """``MT.BUILD``: return the root and one witness per leaf."""
+    if not leaves:
+        raise ValueError("cannot build a Merkle tree over zero leaves")
+    count = len(leaves)
+    width = 1
+    while width < count:
+        width *= 2
+
+    level = [_leaf_hash(kappa, leaf) for leaf in leaves]
+    level.extend([_empty_hash(kappa)] * (width - count))
+
+    # levels[0] = leaf hashes, levels[-1] = [root]
+    levels = [level]
+    while len(level) > 1:
+        level = [
+            _node_hash(kappa, level[i], level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+        levels.append(level)
+
+    witnesses = []
+    for index in range(count):
+        siblings = []
+        position = index
+        for depth in range(len(levels) - 1):
+            sibling = levels[depth][position ^ 1]
+            siblings.append(sibling)
+            position //= 2
+        witnesses.append(MerkleWitness(index=index, siblings=tuple(siblings)))
+    return levels[-1][0], witnesses
+
+
+def verify(
+    kappa: int, root: bytes, index: int, leaf: bytes, witness: MerkleWitness
+) -> bool:
+    """``MT.VERIFY(z, i, s_i, w_i)``; byzantine-proof (never raises)."""
+    if not isinstance(witness, MerkleWitness):
+        return False
+    if not isinstance(root, bytes) or not isinstance(leaf, bytes):
+        return False
+    if not isinstance(index, int) or index < 0:
+        return False
+    if witness.index != index:
+        return False
+    size = digest_size_bytes(kappa)
+    if len(root) != size:
+        return False
+    if not isinstance(witness.siblings, tuple):
+        return False
+    if any(
+        not isinstance(s, bytes) or len(s) != size for s in witness.siblings
+    ):
+        return False
+    if index >= (1 << len(witness.siblings)):
+        return False
+
+    node = _leaf_hash(kappa, leaf)
+    position = index
+    for sibling in witness.siblings:
+        if position % 2 == 0:
+            node = _node_hash(kappa, node, sibling)
+        else:
+            node = _node_hash(kappa, sibling, node)
+        position //= 2
+    return node == root
+
+
+def witness_bits(kappa: int, n_leaves: int) -> int:
+    """Upper bound on a witness' wire size: ``O(kappa log n)`` bits."""
+    depth = max(1, (n_leaves - 1).bit_length())
+    return depth * kappa + max(1, n_leaves.bit_length())

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or simulation was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state (e.g. round-limit exceeded)."""
+
+
+class ProtocolViolation(ReproError):
+    """An honest-party invariant was violated during execution.
+
+    This should never fire when the adversary respects the ``t < n/3``
+    corruption bound; it indicates either a bug or an over-powered adversary.
+    """
+
+
+class CodingError(ReproError):
+    """Reed-Solomon encoding/decoding failed (bad share set, bad framing)."""

@@ -1,0 +1,62 @@
+"""Synchronous-network simulation substrate.
+
+This subpackage implements the execution model the paper assumes
+(Section 2): lockstep rounds over authenticated channels, a rushing
+adaptive byzantine adversary, and bit-exact communication accounting.
+"""
+
+from .adversary import (
+    DROP,
+    AdaptiveCorruptionAdversary,
+    Adversary,
+    CrashAdversary,
+    EquivocatingAdversary,
+    KingTargetingAdversary,
+    OutlierAdversary,
+    PassiveAdversary,
+    PrefixPoisonAdversary,
+    RandomGarbageAdversary,
+    RoundView,
+    ScriptedAdversary,
+    SplitVoteAdversary,
+    WitnessSuppressionAdversary,
+    standard_adversary_suite,
+)
+from .metrics import CommunicationStats
+from .network import ExecutionResult, SynchronousNetwork
+from .combinators import run_parallel
+from .party import Context, Outgoing, Proto, broadcast_round, exchange
+from .runner import run_protocol
+from .trace import RoundRecord, summarize_trace
+from .sizing import bit_size
+
+__all__ = [
+    "DROP",
+    "AdaptiveCorruptionAdversary",
+    "Adversary",
+    "CommunicationStats",
+    "Context",
+    "CrashAdversary",
+    "EquivocatingAdversary",
+    "ExecutionResult",
+    "KingTargetingAdversary",
+    "Outgoing",
+    "OutlierAdversary",
+    "PassiveAdversary",
+    "PrefixPoisonAdversary",
+    "Proto",
+    "RandomGarbageAdversary",
+    "RoundView",
+    "ScriptedAdversary",
+    "SplitVoteAdversary",
+    "RoundRecord",
+    "SynchronousNetwork",
+    "WitnessSuppressionAdversary",
+    "bit_size",
+    "broadcast_round",
+    "exchange",
+    "run_parallel",
+    "run_protocol",
+    "summarize_trace",
+    "standard_adversary_suite",
+]

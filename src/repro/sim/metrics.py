@@ -1,0 +1,62 @@
+"""Communication and round accounting for simulated executions.
+
+``BITS_l(PI)`` in the paper is the total number of bits sent by *honest*
+parties; :class:`CommunicationStats` tracks exactly that, with per-channel
+and per-party breakdowns so benchmarks can attribute cost to individual
+subprotocols (e.g. how much of a `PI_Z` run was spent inside `PI_lBA+`'s
+distributing step versus the underlying `PI_BA` invocations).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["CommunicationStats"]
+
+
+@dataclass
+class CommunicationStats:
+    """Mutable accumulator of communication metrics for one execution."""
+
+    honest_bits: int = 0
+    honest_messages: int = 0
+    rounds: int = 0
+    bits_by_channel: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    bits_by_party: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    messages_by_channel: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def record_send(self, sender: int, channel: str, bits: int) -> None:
+        """Account one honest point-to-point message of ``bits`` bits."""
+        self.honest_bits += bits
+        self.honest_messages += 1
+        self.bits_by_channel[channel] += bits
+        self.bits_by_party[sender] += bits
+        self.messages_by_channel[channel] += 1
+
+    def record_round(self) -> None:
+        """Account one simulated round (or async scheduler step)."""
+        self.rounds += 1
+
+    def channel_report(self) -> list[tuple[str, int, int]]:
+        """Return ``(channel, bits, messages)`` rows sorted by bits desc."""
+        rows = [
+            (channel, bits, self.messages_by_channel[channel])
+            for channel, bits in self.bits_by_channel.items()
+        ]
+        rows.sort(key=lambda row: row[1], reverse=True)
+        return rows
+
+    def bits_for_prefix(self, prefix: str) -> int:
+        """Total honest bits on channels whose label starts with ``prefix``."""
+        return sum(
+            bits
+            for channel, bits in self.bits_by_channel.items()
+            if channel.startswith(prefix)
+        )

@@ -1,0 +1,284 @@
+"""The synchronous network simulator.
+
+Implements the paper's model (Section 2): ``n`` parties in a fully
+connected network of authenticated channels, synchronized clocks, and
+guaranteed delivery within one round.  Protocol executions proceed in
+lockstep rounds:
+
+1. every running party's generator is resumed with last round's inbox and
+   yields its outgoing messages,
+2. the (rushing) adversary observes all honest traffic and chooses the
+   corrupted parties' messages,
+3. messages are delivered; honest-sent bits are accounted.
+
+Authenticated channels mean the receiver always learns the true sender
+identity -- the simulator enforces this by construction (the adversary can
+only emit messages attributed to corrupted parties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ConfigurationError, SimulationError
+from .adversary import Adversary, PassiveAdversary, RoundView
+from .metrics import CommunicationStats
+from .party import Context, Outgoing, Proto
+from .sizing import bit_size
+from .trace import RoundRecord
+
+__all__ = ["ExecutionResult", "SynchronousNetwork", "ProtocolFactory"]
+
+#: Builds one party's protocol generator from its context and input.
+ProtocolFactory = Callable[[Context, Any], Proto[Any]]
+
+_DEFAULT_MAX_ROUNDS = 100_000
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated execution."""
+
+    n: int
+    t: int
+    outputs: dict[int, Any]
+    corrupted: frozenset[int]
+    stats: CommunicationStats
+    channel_trace: list[str] = field(default_factory=list)
+    trace: list[RoundRecord] | None = None
+
+    @property
+    def honest_parties(self) -> list[int]:
+        """Ids of the parties that stayed honest."""
+        return [p for p in range(self.n) if p not in self.corrupted]
+
+    def common_output(self) -> Any:
+        """Return the agreed output, asserting the Agreement property."""
+        values = {party: self.outputs[party] for party in self.honest_parties}
+        if not values:
+            raise SimulationError("no honest parties produced an output")
+        iterator = iter(values.values())
+        first = next(iterator)
+        if any(value != first for value in iterator):
+            raise SimulationError(f"honest parties disagree: {values!r}")
+        return first
+
+
+@dataclass
+class _PartyState:
+    generator: Proto[Any]
+    finished: bool = False
+    output: Any = None
+    inbox: dict[int, Any] = field(default_factory=dict)
+    started: bool = False
+
+
+class SynchronousNetwork:
+    """Drives one protocol execution under a byzantine adversary."""
+
+    def __init__(
+        self,
+        protocol_factory: ProtocolFactory,
+        inputs: dict[int, Any] | list[Any],
+        n: int,
+        t: int,
+        kappa: int = 128,
+        adversary: Adversary | None = None,
+        max_rounds: int = _DEFAULT_MAX_ROUNDS,
+        trace: bool = False,
+    ) -> None:
+        if isinstance(inputs, list):
+            inputs = dict(enumerate(inputs))
+        if set(inputs) != set(range(n)):
+            raise ConfigurationError(
+                f"inputs must cover parties 0..{n - 1}, got {sorted(inputs)}"
+            )
+        self.n = n
+        self.t = t
+        self.kappa = kappa
+        self.inputs = dict(inputs)
+        self.adversary = adversary or PassiveAdversary()
+        self.protocol_factory = protocol_factory
+        self.max_rounds = max_rounds
+
+        self.corrupted: set[int] = set(
+            self.adversary.select_corruptions(n, t)
+        )
+        if len(self.corrupted) > t:
+            raise ConfigurationError(
+                f"adversary selected {len(self.corrupted)} > t={t} corruptions"
+            )
+        if any(not 0 <= p < n for p in self.corrupted):
+            raise ConfigurationError("corruption set out of range")
+
+        self.stats = CommunicationStats()
+        self.channel_trace: list[str] = []
+        self.trace: list[RoundRecord] | None = [] if trace else None
+        self._states: dict[int, _PartyState] = {}
+        for party in range(n):
+            ctx = Context(party_id=party, n=n, t=t, kappa=kappa)
+            gen = protocol_factory(ctx, self.inputs[party])
+            self._states[party] = _PartyState(generator=gen)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        """Execute until every honest party has terminated."""
+        for round_index in range(self.max_rounds):
+            if self._all_honest_finished():
+                break
+            self._run_round(round_index)
+        else:
+            raise SimulationError(
+                f"protocol did not terminate within {self.max_rounds} rounds"
+            )
+        outputs = {
+            party: state.output
+            for party, state in self._states.items()
+            if state.finished and party not in self.corrupted
+        }
+        return ExecutionResult(
+            n=self.n,
+            t=self.t,
+            outputs=outputs,
+            corrupted=frozenset(self.corrupted),
+            stats=self.stats,
+            channel_trace=self.channel_trace,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _all_honest_finished(self) -> bool:
+        return all(
+            state.finished
+            for party, state in self._states.items()
+            if party not in self.corrupted
+        )
+
+    def _resume(self, party: int, state: _PartyState) -> Outgoing | None:
+        """Advance one party's generator by one round; None if finished."""
+        if state.finished:
+            return None
+        try:
+            if not state.started:
+                state.started = True
+                outgoing = next(state.generator)
+            else:
+                outgoing = state.generator.send(state.inbox)
+        except StopIteration as stop:
+            state.finished = True
+            state.output = stop.value
+            return None
+        except Exception:
+            if party in self.corrupted:
+                # A corrupted party's spec code may crash on adversarial
+                # inboxes; the adversary simply loses its spec hint.
+                state.finished = True
+                return None
+            raise
+        if not isinstance(outgoing, Outgoing):
+            raise SimulationError(
+                f"party {party} yielded {type(outgoing).__name__}, "
+                "expected Outgoing"
+            )
+        return outgoing
+
+    def _run_round(self, round_index: int) -> None:
+        # 1. Resume every running generator.
+        outgoings: dict[int, Outgoing] = {}
+        for party, state in self._states.items():
+            outgoing = self._resume(party, state)
+            if outgoing is not None:
+                outgoings[party] = outgoing
+        if not outgoings:
+            # Every generator terminated while consuming last round's
+            # inbox -- no network round takes place.
+            return
+
+        # Lockstep sanity check: running honest parties share one channel.
+        honest_channels = {
+            out.channel
+            for party, out in outgoings.items()
+            if party not in self.corrupted
+        }
+        if len(honest_channels) > 1:
+            raise SimulationError(
+                f"honest parties out of lockstep in round {round_index}: "
+                f"{sorted(honest_channels)}"
+            )
+        if honest_channels:
+            self.channel_trace.append(next(iter(honest_channels)))
+
+        honest_outgoing: dict[tuple[int, int], Any] = {}
+        spec_outgoing: dict[tuple[int, int], Any] = {}
+        channels: dict[int, str] = {}
+        for party, out in outgoings.items():
+            channels[party] = out.channel
+            bucket = (
+                spec_outgoing if party in self.corrupted else honest_outgoing
+            )
+            for dst, payload in out.messages.items():
+                if 0 <= dst < self.n:
+                    bucket[(party, dst)] = payload
+
+        # 2. The rushing adversary acts on the full round view.
+        view = RoundView(
+            round_index=round_index,
+            n=self.n,
+            t=self.t,
+            kappa=self.kappa,
+            corrupted=frozenset(self.corrupted),
+            channels=channels,
+            honest_outgoing=dict(honest_outgoing),
+            spec_outgoing=dict(spec_outgoing),
+            corrupted_inputs={
+                p: self.inputs[p] for p in self.corrupted
+            },
+        )
+        byz_messages = self.adversary.deliver(view)
+
+        # 3. Deliver inboxes and account honest bits.
+        inboxes: dict[int, dict[int, Any]] = {
+            party: {} for party in self._states
+        }
+        round_bits = 0
+        round_messages = 0
+        byz_count = 0
+        for (src, dst), payload in honest_outgoing.items():
+            inboxes[dst][src] = payload
+            if dst != src:
+                bits = bit_size(payload)
+                self.stats.record_send(src, channels[src], bits)
+                round_bits += bits
+                round_messages += 1
+        for (src, dst), payload in byz_messages.items():
+            if src in self.corrupted and 0 <= dst < self.n:
+                inboxes[dst][src] = payload
+                byz_count += 1
+        for party, state in self._states.items():
+            state.inbox = inboxes[party]
+        self.stats.record_round()
+        if self.trace is not None:
+            self.trace.append(
+                RoundRecord(
+                    round_index=round_index,
+                    channel=(
+                        next(iter(honest_channels)) if honest_channels else ""
+                    ),
+                    honest_messages=round_messages,
+                    honest_bits=round_bits,
+                    byzantine_messages=byz_count,
+                    corrupted=frozenset(self.corrupted),
+                    finished_parties=frozenset(
+                        p for p, s in self._states.items() if s.finished
+                    ),
+                )
+            )
+
+        # 4. Adaptive corruptions take effect next round.
+        new_corruptions = self.adversary.adapt(view)
+        if new_corruptions:
+            allowed = self.t - len(self.corrupted)
+            for party in sorted(new_corruptions)[:allowed]:
+                if 0 <= party < self.n:
+                    self.corrupted.add(party)

@@ -1,0 +1,52 @@
+"""Convenience entry point for running a protocol to completion."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .adversary import Adversary
+from .network import ExecutionResult, ProtocolFactory, SynchronousNetwork
+
+__all__ = ["run_protocol"]
+
+
+def run_protocol(
+    protocol_factory: ProtocolFactory,
+    inputs: dict[int, Any] | list[Any],
+    n: int,
+    t: int,
+    kappa: int = 128,
+    adversary: Adversary | None = None,
+    max_rounds: int = 100_000,
+    trace: bool = False,
+) -> ExecutionResult:
+    """Simulate one execution of ``protocol_factory`` and return the result.
+
+    Args:
+        protocol_factory: ``(ctx, input) -> generator`` building each
+            party's protocol instance.
+        inputs: per-party protocol inputs (list indexed by party id, or a
+            dict covering every party; corrupted parties' inputs are handed
+            to the adversary as its "spec" inputs).
+        n: number of parties.
+        t: corruption bound, ``t < n/3``.
+        kappa: security parameter in bits.
+        adversary: byzantine strategy; defaults to spec-following corrupted
+            parties.
+        max_rounds: safety cap on the number of simulated rounds.
+
+    Returns:
+        The :class:`~repro.sim.network.ExecutionResult` with per-party
+        outputs and communication statistics.
+    """
+    network = SynchronousNetwork(
+        protocol_factory=protocol_factory,
+        inputs=inputs,
+        n=n,
+        t=t,
+        kappa=kappa,
+        adversary=adversary,
+        max_rounds=max_rounds,
+        trace=trace,
+    )
+    return network.run()

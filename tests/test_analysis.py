@@ -1,0 +1,163 @@
+"""Analysis-harness tests: models, fitting, sweeps, tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    PROTOCOLS,
+    comparison_series,
+    fit_power_law,
+    format_measurements,
+    format_table,
+    make_inputs,
+    marginal_slope,
+    measure,
+    pi_z_bits_model,
+    sweep_ell,
+    sweep_n,
+)
+from repro.analysis.predictions import (
+    broadcast_ca_bits_model,
+    ext_ba_plus_bits_model,
+    high_cost_ca_bits_model,
+)
+
+
+class TestFitting:
+    def test_fit_power_law_exact(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3 * x**2 for x in xs]
+        exponent, r2 = fit_power_law(xs, ys)
+        assert abs(exponent - 2.0) < 1e-9
+        assert r2 > 0.999999
+
+    def test_fit_power_law_linear(self):
+        xs = [10, 100, 1000]
+        ys = [5 * x for x in xs]
+        exponent, _ = fit_power_law(xs, ys)
+        assert abs(exponent - 1.0) < 1e-9
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_marginal_slope(self):
+        assert marginal_slope([1, 2, 4], [10, 20, 40]) == 10
+
+    def test_marginal_slope_requires_points(self):
+        with pytest.raises(ValueError):
+            marginal_slope([1], [1])
+        with pytest.raises(ValueError):
+            marginal_slope([2, 2], [1, 3])
+
+
+class TestModels:
+    def test_models_positive_and_monotone_in_ell(self):
+        for model in (
+            lambda ell: pi_z_bits_model(7, 2, 128, ell),
+            lambda ell: ext_ba_plus_bits_model(7, 2, 128, ell),
+            lambda ell: broadcast_ca_bits_model(7, 2, 128, ell),
+            lambda ell: high_cost_ca_bits_model(7, ell),
+        ):
+            small, large = model(100), model(100000)
+            assert 0 < small < large
+
+    def test_model_ordering_for_large_ell(self):
+        """For large l the paper's ordering holds:
+        PI_Z < broadcast < high-cost."""
+        ell = 10**7
+        assert (
+            pi_z_bits_model(7, 2, 128, ell)
+            < broadcast_ca_bits_model(7, 2, 128, ell)
+            < high_cost_ca_bits_model(7, ell)
+        )
+
+    def test_pi_z_model_slope_is_order_n(self):
+        n = 9
+        lo = pi_z_bits_model(n, 2, 128, 10**6)
+        hi = pi_z_bits_model(n, 2, 128, 2 * 10**6)
+        slope = (hi - lo) / 10**6
+        # leading terms: 2*l*n (prefix search) + l*n (AddLastBlock) = 3n
+        assert n <= slope <= 4 * n
+
+
+class TestWorkloads:
+    def test_make_inputs_deterministic(self):
+        assert make_inputs(5, 32, seed=3) == make_inputs(5, 32, seed=3)
+
+    def test_make_inputs_length_bound(self):
+        for spread in ("spread", "clustered", "identical"):
+            values = make_inputs(6, 24, spread=spread)
+            assert len(values) == 6
+            assert all(0 <= v < 2**24 for v in values)
+
+    def test_identical_spread(self):
+        values = make_inputs(5, 16, spread="identical")
+        assert len(set(values)) == 1
+
+    def test_clustered_share_prefix(self):
+        values = make_inputs(5, 32, spread="clustered")
+        assert max(values) - min(values) < 256
+
+    def test_spread_spans_range(self):
+        values = make_inputs(5, 32, spread="spread")
+        assert max(values) >= 2**31
+        assert min(values) < 2**31
+
+    def test_unknown_spread_rejected(self):
+        with pytest.raises(ValueError):
+            make_inputs(5, 8, spread="nope")
+
+
+class TestSweeps:
+    def test_measure_pi_z(self):
+        m = measure("pi_z", 4, None, 64, kappa=64)
+        assert m.bits > 0 and m.rounds > 0
+        assert m.t == 1
+        inputs = make_inputs(4, 64)
+        assert min(inputs) <= m.output <= max(inputs)
+
+    def test_measure_all_protocols_run(self):
+        for name in PROTOCOLS:
+            m = measure(name, 4, None, 32, kappa=64, spread="clustered")
+            assert m.bits > 0, name
+
+    def test_sweep_ell_shapes(self):
+        rows = sweep_ell("high_cost_ca", 4, [32, 64], kappa=64)
+        assert [m.ell for m in rows] == [32, 64]
+        assert rows[1].bits > rows[0].bits
+
+    def test_sweep_n(self):
+        rows = sweep_n("high_cost_ca", [4, 7], 32, kappa=64)
+        assert [m.n for m in rows] == [4, 7]
+        assert rows[1].bits > rows[0].bits
+
+    def test_comparison_series(self):
+        series = comparison_series(
+            ["pi_z", "high_cost_ca"], n=4, ells=[32], kappa=64
+        )
+        assert set(series) == {"pi_z", "high_cost_ca"}
+
+    def test_bits_per_party(self):
+        m = measure("high_cost_ca", 4, 1, 16, kappa=64)
+        assert m.bits_per_party == m.bits / 3
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_format_measurements(self):
+        m = measure("high_cost_ca", 4, 1, 16, kappa=64)
+        out = format_measurements([m], title="x")
+        assert "high_cost_ca" in out
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1234.5], [0.12], [0.0]])
+        assert "1,23" in out and "0.12" in out

@@ -1,0 +1,96 @@
+"""Public API tests: ``convex_agreement`` and the outcome object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    CrashAdversary,
+    OutlierAdversary,
+    convex_agreement,
+    default_threshold,
+)
+
+from conftest import adversary_params
+
+
+class TestDefaultThreshold:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (2, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3), (13, 4)],
+    )
+    def test_values(self, n, expected):
+        assert default_threshold(n) == expected
+
+
+class TestConvexAgreementAPI:
+    def test_basic(self):
+        outcome = convex_agreement([1, 2, 3, 4], kappa=64)
+        honest = [v for i, v in enumerate([1, 2, 3, 4])
+                  if i not in outcome.corrupted]
+        assert min(honest) <= outcome.value <= max(honest)
+
+    def test_dict_inputs(self):
+        outcome = convex_agreement({0: 5, 1: 6, 2: 7, 3: 8}, kappa=64)
+        assert 5 <= outcome.value <= 8
+
+    def test_dict_inputs_must_cover(self):
+        with pytest.raises(ConfigurationError):
+            convex_agreement({0: 5, 2: 7})
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            convex_agreement([])
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            convex_agreement([1, 2.5, 3, 4])
+        with pytest.raises(ConfigurationError):
+            convex_agreement([1, True, 3, 4])
+
+    def test_explicit_t(self):
+        outcome = convex_agreement([1, 2, 3, 4, 5, 6, 7], t=1, kappa=64)
+        assert 1 <= outcome.value <= 7
+
+    def test_t_out_of_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            convex_agreement([1, 2, 3], t=1)
+
+    def test_outputs_all_agree(self):
+        outcome = convex_agreement([10, 20, 30, 40], kappa=64,
+                                   adversary=CrashAdversary(0))
+        assert len(set(outcome.outputs.values())) == 1
+        assert outcome.value in set(outcome.outputs.values())
+
+    def test_stats_populated(self):
+        outcome = convex_agreement([10, 20, 30, 40], kappa=64)
+        assert outcome.stats.honest_bits > 0
+        assert outcome.stats.rounds > 0
+        assert outcome.stats.bits_by_channel
+
+    def test_single_party(self):
+        outcome = convex_agreement([42], kappa=64)
+        assert outcome.value == 42
+
+    def test_three_parties_no_corruption(self):
+        outcome = convex_agreement([1, 2, 3], kappa=64)
+        assert 1 <= outcome.value <= 3
+        assert outcome.corrupted == frozenset()
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_motivating_example(self, adversary):
+        """The cooling-room sensors from the paper's introduction."""
+        readings = [-1005, -1004, -1003, -1003, -1005, -1004, -1004]
+        outcome = convex_agreement(readings, kappa=64, adversary=adversary)
+        honest = [
+            v for i, v in enumerate(readings) if i not in outcome.corrupted
+        ]
+        assert min(honest) <= outcome.value <= max(honest)
+
+    def test_outlier_attack_cannot_pull_output(self):
+        readings = [-1005, -1004, -1003, -1003, -1005, -1004, -1004]
+        outcome = convex_agreement(
+            readings, kappa=64, adversary=OutlierAdversary(high=100)
+        )
+        assert -1005 <= outcome.value <= -1003

@@ -1,0 +1,172 @@
+"""Synchronous Approximate Agreement tests (companion primitive)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aa import approximate_agreement, iterations_for, trimmed_midpoint
+from repro.errors import ConfigurationError
+from repro.sim import ScriptedAdversary, run_protocol
+
+from conftest import CONFIGS, adversary_params
+
+BOUND = 1 << 20
+
+
+def aa_factory(epsilon, bound=BOUND):
+    def factory(ctx, v):
+        return approximate_agreement(ctx, v, epsilon, bound)
+
+    return factory
+
+
+def check_aa(inputs, result, epsilon):
+    """eps-Agreement + Convex Validity for an AA execution."""
+    honest_ids = [p for p in range(len(inputs)) if p not in result.corrupted]
+    outputs = [result.outputs[p] for p in honest_ids]
+    lo = min(inputs[p] for p in honest_ids)
+    hi = max(inputs[p] for p in honest_ids)
+    for out in outputs:
+        assert lo <= out <= hi, f"output {out} outside [{lo}, {hi}]"
+    spread = max(outputs) - min(outputs)
+    assert spread <= epsilon, f"spread {spread} > eps {epsilon}"
+    return outputs
+
+
+class TestIterations:
+    def test_iteration_count(self):
+        assert iterations_for(1024, 1) == 11
+        assert iterations_for(1024, 2048) == 0
+        assert iterations_for(1, Fraction(1, 2)) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            iterations_for(0, 1)
+        with pytest.raises(ConfigurationError):
+            iterations_for(10, 0)
+        with pytest.raises(ConfigurationError):
+            iterations_for(10, -1)
+
+
+class TestTrimmedMidpoint:
+    def test_no_trim(self):
+        assert trimmed_midpoint([Fraction(0), Fraction(10)], 0) == 5
+
+    def test_trims_extremes(self):
+        values = [Fraction(v) for v in (-(10**9), 4, 6, 8, 10**9)]
+        assert trimmed_midpoint(values, 1) == 6
+
+    def test_insufficient(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_midpoint([Fraction(1), Fraction(2)], 1)
+
+
+class TestApproximateAgreement:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_eps_agreement_and_validity(self, n, t, adversary):
+        inputs = [100 * i for i in range(n)]
+        result = run_protocol(aa_factory(1), inputs, n, t,
+                              adversary=adversary)
+        check_aa(inputs, result, 1)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_fine_epsilon(self, adversary):
+        inputs = [0, 1000, 2000, 3000, 4000, 5000, 6000]
+        eps = Fraction(1, 128)
+        result = run_protocol(aa_factory(eps), inputs, 7, 2,
+                              adversary=adversary)
+        check_aa(inputs, result, eps)
+
+    def test_unanimous_zero_rounds_of_drift(self):
+        result = run_protocol(aa_factory(1), [500] * 7, 7, 2)
+        outputs = set(result.outputs.values())
+        assert outputs == {Fraction(500)}
+
+    def test_negative_inputs(self):
+        inputs = [-100, -50, 0, 50, 100, -25, 25]
+        result = run_protocol(aa_factory(2), inputs, 7, 2)
+        check_aa(inputs, result, 2)
+
+    def test_input_bound_enforced(self):
+        from repro.sim import Context
+
+        ctx = Context(party_id=0, n=4, t=1)
+        gen = approximate_agreement(ctx, BOUND + 1, 1, BOUND)
+        with pytest.raises(ConfigurationError):
+            next(gen)
+
+    def test_diameter_halves_per_iteration(self):
+        """Convergence rate 1/2: after R iterations the spread is at most
+        initial_diameter / 2^R (checked via the iteration count)."""
+        inputs = [0, 0, 0, 1024, 1024, 1024, 512]
+        eps = 1
+        result = run_protocol(aa_factory(eps, bound=1024), inputs, 7, 2)
+        check_aa(inputs, result, eps)
+
+    def test_huge_denominator_attack_rejected(self):
+        """Byzantine estimates with absurd denominators must not be
+        adopted (and later re-broadcast) by honest parties."""
+
+        def handler(view, src, dst, spec):
+            return Fraction(1, 3**20)  # inside range, junk denominator
+
+        inputs = [0, 10, 20, 30, 40, 50, 60]
+        result = run_protocol(
+            aa_factory(1), inputs, 7, 2,
+            adversary=ScriptedAdversary(handler),
+        )
+        outputs = check_aa(inputs, result, 1)
+        # honest estimates stay dyadic:
+        for out in outputs:
+            d = out.denominator
+            assert d & (d - 1) == 0
+
+    def test_communication_not_inflatable(self):
+        """The dyadic-shape validation keeps honest bits flat under a
+        denominator-inflation adversary."""
+
+        def handler(view, src, dst, spec):
+            return Fraction(7**40 + 1, 7**40)
+
+        inputs = [0, 10, 20, 30, 40, 50, 60]
+        quiet = run_protocol(aa_factory(1), inputs, 7, 2)
+        noisy = run_protocol(
+            aa_factory(1), inputs, 7, 2,
+            adversary=ScriptedAdversary(handler),
+        )
+        assert noisy.stats.honest_bits <= 1.5 * quiet.stats.honest_bits
+
+    @given(
+        st.lists(st.integers(min_value=-(2**16), max_value=2**16),
+                 min_size=4, max_size=4),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_inputs(self, inputs, seed):
+        from repro.sim import RandomGarbageAdversary
+
+        result = run_protocol(
+            aa_factory(1, bound=2**16), inputs, 4, 1,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        check_aa(inputs, result, 1)
+
+
+class TestAAvsCA:
+    def test_aa_cheaper_for_coarse_eps_ca_for_exactness(self):
+        """The trade-off CA resolves: AA with coarse eps is cheap, but
+        only CA reaches exact agreement at bounded cost."""
+        from repro.core.protocol_z import protocol_z
+
+        inputs = [1000 * i for i in range(7)]
+        coarse = run_protocol(aa_factory(512, bound=8192), inputs, 7, 2)
+        ca = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v), inputs, 7, 2, kappa=64
+        )
+        assert coarse.stats.honest_bits < ca.stats.honest_bits
+        # AA outputs are eps-apart; CA outputs are identical:
+        assert len(set(ca.outputs.values())) == 1

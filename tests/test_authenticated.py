@@ -1,0 +1,291 @@
+"""Authenticated-setting tests: signatures, Dolev-Strong, t < n/2 CA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.authenticated import (
+    authenticated_ca,
+    dolev_strong_broadcast,
+    signed_payload,
+)
+from repro.crypto.signatures import SignatureScheme
+from repro.sim import (
+    Adversary,
+    Context,
+    CrashAdversary,
+    RandomGarbageAdversary,
+    run_protocol,
+)
+
+from conftest import adversary_params, assert_convex
+
+KAPPA = 64
+
+#: honest-minority-tolerating configurations: t < n/2 but t >= n/3.
+MINORITY_CONFIGS = [(3, 1), (5, 2), (7, 3), (9, 4)]
+
+
+def make_scheme(n: int, seed: bytes = b"test-seed") -> SignatureScheme:
+    return SignatureScheme(KAPPA, n, seed=seed)
+
+
+class TestSignatureScheme:
+    def test_sign_verify_roundtrip(self):
+        scheme = make_scheme(4)
+        sig = scheme.sign(2, b"message")
+        assert scheme.verify(2, b"message", sig)
+
+    def test_wrong_signer_rejected(self):
+        scheme = make_scheme(4)
+        sig = scheme.sign(2, b"message")
+        assert not scheme.verify(1, b"message", sig)
+
+    def test_wrong_message_rejected(self):
+        scheme = make_scheme(4)
+        sig = scheme.sign(2, b"message")
+        assert not scheme.verify(2, b"other", sig)
+
+    def test_junk_never_raises(self):
+        scheme = make_scheme(4)
+        assert not scheme.verify(2, b"m", None)
+        assert not scheme.verify(2, b"m", "sig")
+        assert not scheme.verify("x", b"m", b"sig")
+        assert not scheme.verify(99, b"m", b"sig")
+        assert not scheme.verify(2, 42, b"sig")
+
+    def test_signatures_are_kappa_bits(self):
+        scheme = make_scheme(4)
+        assert len(scheme.sign(0, b"m")) * 8 == KAPPA
+
+    def test_different_seeds_different_signatures(self):
+        a = SignatureScheme(KAPPA, 4, seed=b"a")
+        b = SignatureScheme(KAPPA, 4, seed=b"b")
+        assert a.sign(0, b"m") != b.sign(0, b"m")
+
+    def test_signer_range_enforced(self):
+        scheme = make_scheme(4)
+        with pytest.raises(ValueError):
+            scheme.sign(4, b"m")
+
+    def test_restricted_signer(self):
+        scheme = make_scheme(4)
+        restricted = scheme.for_adversary({3})
+        assert scheme.verify(3, b"m", restricted.sign(3, b"m"))
+        with pytest.raises(PermissionError):
+            restricted.sign(0, b"m")
+
+    def test_instance_framing(self):
+        assert signed_payload("a/b", b"v") != signed_payload("a/c", b"v")
+
+
+def ds_factory(sender, scheme):
+    def factory(ctx, v):
+        return dolev_strong_broadcast(
+            ctx, sender, v if ctx.party_id == sender else None, scheme
+        )
+
+    return factory
+
+
+class TestDolevStrong:
+    @pytest.mark.parametrize("n,t", MINORITY_CONFIGS)
+    def test_honest_sender_delivery(self, n, t):
+        scheme = make_scheme(n)
+        result = run_protocol(
+            ds_factory(0, scheme), [b"payload"] * n, n, t, kappa=KAPPA
+        )
+        assert result.common_output() == b"payload"
+
+    def test_exact_round_count(self):
+        n, t = 5, 2
+        scheme = make_scheme(n)
+        result = run_protocol(
+            ds_factory(0, scheme), [b"x"] * n, n, t, kappa=KAPPA
+        )
+        assert result.stats.rounds == t + 1
+
+    def test_silent_byzantine_sender_gives_bottom(self):
+        n, t = 5, 2
+        scheme = make_scheme(n)
+        # default corruption = last t parties; sender 4 corrupted + silent
+        result = run_protocol(
+            ds_factory(4, scheme), [b"x"] * n, n, t, kappa=KAPPA,
+            adversary=CrashAdversary(0),
+        )
+        assert result.common_output() is None
+
+    def test_garbage_resistant(self):
+        n, t = 5, 2
+        scheme = make_scheme(n)
+        result = run_protocol(
+            ds_factory(0, scheme), [b"real"] * n, n, t, kappa=KAPPA,
+            adversary=RandomGarbageAdversary(7),
+        )
+        assert result.common_output() == b"real"
+
+    def test_unforgeability_no_sender_signature_no_delivery(self):
+        """Corrupted non-sender parties cannot fabricate a broadcast:
+        they lack the (honest, silent-in-this-instance) sender's key."""
+        n, t = 5, 2
+
+        class Fabricator(Adversary):
+            def __init__(self, scheme):
+                super().__init__()
+                self.signer = scheme.for_adversary({3, 4})
+
+            def deliver(self, view):
+                out = {}
+                payload = signed_payload("ds", b"forged")
+                chain = tuple(
+                    (i, self.signer.sign(i, payload)) for i in (3, 4)
+                )
+                for src in view.corrupted:
+                    for dst in range(view.n):
+                        out[(src, dst)] = [(b"forged", chain)]
+                return out
+
+        scheme = make_scheme(n)
+        # sender 0 is honest but broadcasts nothing in this test: model
+        # that by making every party a non-sender (sender input unused).
+        result = run_protocol(
+            lambda ctx, v: dolev_strong_broadcast(
+                ctx, 0, b"real" if ctx.party_id == 0 else None, scheme
+            ),
+            [b""] * n, n, t, kappa=KAPPA, adversary=Fabricator(scheme),
+        )
+        # chain lacks the sender's signature as first link -> rejected;
+        # the real broadcast still delivers.
+        assert result.common_output() == b"real"
+
+    def test_equivocating_corrupted_sender_agreement(self):
+        """A corrupted sender signs two values and targets two halves;
+        honest parties must still agree (on either value or bottom)."""
+        n, t = 5, 2
+
+        class Equivocator(Adversary):
+            def __init__(self, scheme):
+                super().__init__()
+                self.signer = scheme.for_adversary({4})
+
+            def deliver(self, view):
+                out = {}
+                if view.round_index == 0:
+                    for dst in range(view.n):
+                        value = b"AAA" if dst < view.n // 2 else b"BBB"
+                        payload = signed_payload("ds", value)
+                        chain = ((4, self.signer.sign(4, payload)),)
+                        out[(4, dst)] = [(value, chain)]
+                return out
+
+        scheme = make_scheme(n)
+        result = run_protocol(
+            lambda ctx, v: dolev_strong_broadcast(
+                ctx, 4, None if ctx.party_id != 4 else b"AAA", scheme
+            ),
+            [b""] * n, n, t, kappa=KAPPA, adversary=Equivocator(scheme),
+        )
+        assert result.common_output() is None  # both values detected
+
+    def test_replay_across_instances_rejected(self):
+        """A chain signed for instance bb0 must not validate in bb1."""
+        n, t = 5, 2
+        scheme = make_scheme(n)
+
+        class Replayer(Adversary):
+            def __init__(self):
+                super().__init__()
+                self.captured = None
+
+            def deliver(self, view):
+                out = {}
+                # capture the honest sender's round-1 message of bb0
+                for (src, dst), msg in view.honest_outgoing.items():
+                    if src == 0 and isinstance(msg, list) and msg:
+                        self.captured = msg[0]
+                # replay it into the current instance from party 4
+                if self.captured is not None:
+                    for dst in range(view.n):
+                        out[(4, dst)] = [self.captured]
+                return out
+
+        def two_instances(ctx, v):
+            first = yield from dolev_strong_broadcast(
+                ctx, 0, b"first" if ctx.party_id == 0 else None, scheme,
+                channel="bb0",
+            )
+            second = yield from dolev_strong_broadcast(
+                ctx, 4, None, scheme, channel="bb1",
+            )
+            return (first, second)
+
+        result = run_protocol(
+            two_instances, [b""] * n, n, t, kappa=KAPPA,
+            adversary=Replayer(),
+        )
+        first, second = result.common_output()
+        assert first == b"first"
+        assert second is None  # replayed bb0 chain rejected in bb1
+
+
+class TestAuthenticatedCA:
+    @pytest.mark.parametrize("n,t", MINORITY_CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_beyond_one_third(self, n, t, adversary):
+        scheme = make_scheme(n)
+        inputs = [100 + 3 * i for i in range(n)]
+        result = run_protocol(
+            lambda ctx, v: authenticated_ca(ctx, v, scheme),
+            inputs, n, t, kappa=KAPPA, adversary=adversary,
+        )
+        assert_convex(inputs, result)
+
+    def test_unanimous(self):
+        n, t = 5, 2
+        scheme = make_scheme(n)
+        result = run_protocol(
+            lambda ctx, v: authenticated_ca(ctx, v, scheme),
+            [42] * n, n, t, kappa=KAPPA,
+        )
+        assert result.common_output() == 42
+
+    def test_negative_inputs(self):
+        n, t = 5, 2
+        scheme = make_scheme(n)
+        inputs = [-10, -20, -30, -40, -50]
+        result = run_protocol(
+            lambda ctx, v: authenticated_ca(ctx, v, scheme),
+            inputs, n, t, kappa=KAPPA,
+        )
+        assert_convex(inputs, result)
+
+    def test_all_byzantine_abstain_minimal_view(self):
+        """With n = 2t+1 and all byzantine senders silent, the view has
+        exactly t+1 honest values and trimming adapts to zero."""
+        n, t = 5, 2
+        scheme = make_scheme(n)
+        inputs = [10, 20, 30, 40, 50]
+        result = run_protocol(
+            lambda ctx, v: authenticated_ca(ctx, v, scheme),
+            inputs, n, t, kappa=KAPPA, adversary=CrashAdversary(0),
+        )
+        # honest values 10, 20, 30 -> median 20
+        assert result.common_output() == 20
+
+    def test_resilience_bound(self):
+        scheme = make_scheme(4)
+        ctx = Context(party_id=0, n=4, t=2, kappa=KAPPA)
+        gen = authenticated_ca(ctx, 1, scheme)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            next(gen)
+
+    def test_one_third_protocols_reject_minority_configs(self):
+        """The plain-model stack must refuse n=5, t=2 (t >= n/3)."""
+        from repro.core.protocol_z import protocol_z
+        from repro.errors import ConfigurationError
+
+        ctx = Context(party_id=0, n=5, t=2, kappa=KAPPA)
+        with pytest.raises(ConfigurationError):
+            next(protocol_z(ctx, 1))

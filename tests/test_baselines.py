@@ -1,0 +1,134 @@
+"""Baseline protocol tests: both broadcast-based CAs are correct CAs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    broadcast_ca,
+    decode_int,
+    encode_int,
+    naive_broadcast_ca,
+    trimmed_median,
+)
+from repro.sim import RandomGarbageAdversary, run_protocol
+
+from conftest import adversary_params, assert_convex
+
+KAPPA = 64
+
+BASELINES = [
+    pytest.param(broadcast_ca, id="broadcast_ca"),
+    pytest.param(naive_broadcast_ca, id="naive_broadcast_ca"),
+]
+
+
+class TestIntCodec:
+    @given(st.integers(min_value=-(2**200), max_value=2**200))
+    def test_roundtrip(self, v):
+        assert decode_int(encode_int(v)) == v
+
+    def test_malformed_rejected(self):
+        assert decode_int(b"") is None
+        assert decode_int(b"\x05\x01") is None
+        assert decode_int("junk") is None
+        assert decode_int(b"\x00") is None
+
+    def test_negative_zero_rejected(self):
+        assert decode_int(b"\x01\x00") is None
+
+
+class TestTrimmedMedian:
+    def test_plain_median(self):
+        assert trimmed_median([1, 2, 3, 4, 5], 0) == 3
+
+    def test_trims_outliers(self):
+        assert trimmed_median([-(10**9), 10, 11, 12, 10**9], 1) == 11
+
+    def test_ignores_bottom(self):
+        assert trimmed_median([None, 5, 6, 7, None], 1) == 6
+
+    def test_insufficient_values(self):
+        with pytest.raises(ValueError):
+            trimmed_median([1, 2], 1)
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000),
+                 min_size=5, max_size=9),
+    )
+    def test_result_within_trimmed_range(self, values):
+        t = (len(values) - 1) // 3
+        if len(values) <= 2 * t:
+            return
+        out = trimmed_median(list(values), t)
+        ordered = sorted(values)
+        assert ordered[t] <= out <= ordered[len(values) - 1 - t]
+
+
+class TestBaselineCA:
+    @pytest.mark.parametrize("proto", BASELINES)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_properties(self, proto, adversary):
+        inputs = [100, 105, 103, 101, 104, 102, 106]
+        result = run_protocol(
+            lambda ctx, v: proto(ctx, v), inputs, 7, 2, kappa=KAPPA,
+            adversary=adversary,
+        )
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("proto", BASELINES)
+    def test_unanimous(self, proto):
+        result = run_protocol(
+            lambda ctx, v: proto(ctx, v), [77] * 7, 7, 2, kappa=KAPPA
+        )
+        assert result.common_output() == 77
+
+    @pytest.mark.parametrize("proto", BASELINES)
+    def test_negative_values(self, proto):
+        inputs = [-5, -10, -7, -3, -8, -6, -9]
+        result = run_protocol(
+            lambda ctx, v: proto(ctx, v), inputs, 7, 2, kappa=KAPPA
+        )
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("proto", BASELINES)
+    def test_small_network(self, proto):
+        inputs = [1, 2, 3, 4]
+        result = run_protocol(
+            lambda ctx, v: proto(ctx, v), inputs, 4, 1, kappa=KAPPA
+        )
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("proto", BASELINES)
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=5, deadline=None)
+    def test_garbage_robustness(self, proto, seed):
+        inputs = [10, 20, 30, 40]
+        result = run_protocol(
+            lambda ctx, v: proto(ctx, v), inputs, 4, 1, kappa=KAPPA,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        assert_convex(inputs, result)
+
+
+class TestBaselineComplexity:
+    def test_broadcast_ca_quadratic_vs_pi_z_linear(self):
+        """The headline gap: for long inputs broadcast_ca pays a factor
+        ~n more than PI_Z on the l-dependent term."""
+        from repro.core.protocol_z import protocol_z
+
+        ell = 4096
+        value = (1 << (ell - 1)) + 12345
+        inputs = [value + i for i in range(7)]
+
+        def measure(factory):
+            small = run_protocol(factory, [v >> 2048 for v in inputs],
+                                 7, 2, kappa=KAPPA).stats.honest_bits
+            large = run_protocol(factory, inputs, 7, 2,
+                                 kappa=KAPPA).stats.honest_bits
+            return (large - small) / (8 * 2048 // 8)  # per-bit slope-ish
+
+        pi_z_slope = measure(lambda ctx, v: protocol_z(ctx, v))
+        bc_slope = measure(lambda ctx, v: broadcast_ca(ctx, v))
+        assert bc_slope > 3 * pi_z_slope

@@ -1,0 +1,175 @@
+"""Byzantine Broadcast extension tests (baseline substrate)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ba.broadcast import byzantine_broadcast
+from repro.crypto import merkle
+from repro.sim import Adversary, Context, run_protocol
+
+from conftest import CONFIGS, adversary_params
+
+KAPPA = 64
+
+
+def bb_factory(sender):
+    def factory(ctx, v):
+        return byzantine_broadcast(
+            ctx, sender, v if ctx.party_id == sender else None
+        )
+
+    return factory
+
+
+class TestHonestSender:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_delivery(self, n, t, adversary):
+        data = b"broadcast me" * 20
+        result = run_protocol(bb_factory(0), [data] * n, n, t, kappa=KAPPA,
+                              adversary=adversary)
+        assert result.common_output() == data
+
+    def test_every_honest_sender_position(self):
+        n, t = 4, 1
+        for sender in range(n - t):  # honest senders under default corruption
+            data = bytes([sender]) * 50
+            result = run_protocol(
+                bb_factory(sender), [data] * n, n, t, kappa=KAPPA
+            )
+            assert result.common_output() == data
+
+    def test_long_payload(self):
+        data = os.urandom(5000)
+        result = run_protocol(bb_factory(0), [data] * 7, 7, 2, kappa=KAPPA)
+        assert result.common_output() == data
+
+    def test_sender_requires_bytes(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        gen = byzantine_broadcast(ctx, 0, 12345)
+        with pytest.raises(TypeError):
+            next(gen)
+
+
+class TestByzantineSender:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_agreement_with_byzantine_sender(self, adversary):
+        # Sender 6 is corrupted under the default pattern (n=7, t=2).
+        result = run_protocol(
+            bb_factory(6), [b"x" * 40] * 7, 7, 2, kappa=KAPPA,
+            adversary=adversary,
+        )
+        result.common_output()  # agreement, value may be anything/bottom
+
+    def test_silent_sender_yields_bottom(self):
+        from repro.sim import CrashAdversary
+
+        result = run_protocol(
+            bb_factory(6), [b"x" * 40] * 7, 7, 2, kappa=KAPPA,
+            adversary=CrashAdversary(0),
+        )
+        assert result.common_output() is None
+
+    def test_equivocating_sender_still_agrees(self):
+        """The sender sends entirely different valid dispersals to the
+        two halves of the network; agreement must survive."""
+        payload_a = b"A" * 100
+        payload_b = b"B" * 100
+
+        class EquivocatingSender(Adversary):
+            def select_corruptions(self, n, t):
+                return {0}
+
+            def deliver(self, view):
+                from repro.ba.distribution import encode_and_accumulate
+
+                out = {}
+                ctx = Context(party_id=0, n=view.n, t=view.t, kappa=KAPPA)
+                if view.channel.endswith("/disperse"):
+                    for dst in range(view.n):
+                        data = payload_a if dst < view.n // 2 else payload_b
+                        _, shares, root, wits = encode_and_accumulate(
+                            ctx, data
+                        )
+                        out[(0, dst)] = (root, dst, shares[dst], wits[dst])
+                return out
+
+        result = run_protocol(
+            bb_factory(0), [b""] * 7, 7, 2, kappa=KAPPA,
+            adversary=EquivocatingSender(),
+        )
+        out = result.common_output()
+        assert out in (payload_a, payload_b, None)
+
+    def test_non_codeword_commitment_rejected_consistently(self):
+        """The sender commits to a NON-codeword share vector and disperses
+        valid witnesses for it; the re-encode check must make all honest
+        parties output the same thing (here: bottom)."""
+        from repro.coding.reed_solomon import rs_code
+
+        class NonCodewordSender(Adversary):
+            def select_corruptions(self, n, t):
+                return {0}
+
+            def deliver(self, view):
+                out = {}
+                if view.channel.endswith("/disperse"):
+                    code = rs_code(view.n, view.n - view.t)
+                    shares = code.encode(b"committed value")
+                    shares[2] = shares[2][:-1] + b"\x77"  # break codeword
+                    root, wits = merkle.build(KAPPA, shares)
+                    for dst in range(view.n):
+                        out[(0, dst)] = (root, dst, shares[dst], wits[dst])
+                elif view.channel.endswith(("/forward1", "/forward2")):
+                    pass  # stay silent; honest parties forward their own
+                return out
+
+        result = run_protocol(
+            bb_factory(0), [b""] * 7, 7, 2, kappa=KAPPA,
+            adversary=NonCodewordSender(),
+        )
+        assert result.common_output() is None
+
+    def test_selective_dispersal_cannot_split_outputs(self):
+        """The sender gives valid tuples to only SOME honest parties and
+        plays games in the forwarding rounds; the confirm-BA + re-dispersal
+        round must keep honest outputs identical."""
+        from repro.ba.distribution import encode_and_accumulate
+
+        data = b"partially dispersed"
+
+        class Selective(Adversary):
+            def select_corruptions(self, n, t):
+                return {0, 1}
+
+            def deliver(self, view):
+                out = {}
+                ctx = Context(party_id=0, n=view.n, t=view.t, kappa=KAPPA)
+                _, shares, root, wits = encode_and_accumulate(ctx, data)
+                if view.channel.endswith("/disperse"):
+                    # give valid tuples only to parties 2 and 3
+                    for dst in (2, 3):
+                        out[(0, dst)] = (root, dst, shares[dst], wits[dst])
+                    # junk root to everyone else
+                    for dst in (4, 5, 6):
+                        out[(0, dst)] = (b"\x01" * (KAPPA // 8), dst,
+                                         b"junk", None)
+                return out
+
+        result = run_protocol(
+            bb_factory(0), [b""] * 7, 7, 2, kappa=KAPPA,
+            adversary=Selective(),
+        )
+        result.common_output()  # identical at all honest parties
+
+
+class TestComplexity:
+    def test_linear_in_payload(self):
+        small = run_protocol(bb_factory(0), [os.urandom(500)] * 7, 7, 2,
+                             kappa=KAPPA)
+        large = run_protocol(bb_factory(0), [os.urandom(4000)] * 7, 7, 2,
+                             kappa=KAPPA)
+        assert large.stats.honest_bits / small.stats.honest_bits < 8

@@ -1,0 +1,127 @@
+"""Domain and canonical-key tests (the BA input-space machinery)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, strategies as st
+
+from repro.ba.domains import (
+    BIT_DOMAIN,
+    bit_domain,
+    bitstring_domain,
+    canonical_key,
+    digest_domain,
+    nat_domain,
+    optional_digest_domain,
+)
+from repro.core.bitstrings import BitString
+
+
+class TestCanonicalKey:
+    def test_none_sorts_first(self):
+        values = [5, None, b"ab", "x", BitString(1, 2)]
+        ordered = sorted(values, key=canonical_key)
+        assert ordered[0] is None
+
+    def test_total_order_over_mixed_types(self):
+        values = [3, b"a", "s", (1, 2), BitString(0, 1), None, -7]
+        # must not raise, and must be deterministic
+        assert sorted(values, key=canonical_key) == sorted(
+            values, key=canonical_key
+        )
+
+    def test_ints_ordered_numerically(self):
+        assert canonical_key(2) < canonical_key(10)
+
+    def test_bool_and_int_share_rank(self):
+        assert canonical_key(True) == canonical_key(1)
+
+    def test_bytes_lexicographic(self):
+        assert canonical_key(b"aa") < canonical_key(b"ab")
+
+    def test_bitstring_by_length_then_value(self):
+        assert canonical_key(BitString(1, 2)) < canonical_key(BitString(0, 3))
+
+    def test_nested_tuples(self):
+        assert canonical_key((1, (2, b"x"))) == canonical_key((1, (2, b"x")))
+
+    def test_unknown_type_falls_back(self):
+        key = canonical_key(Fraction(1, 2))
+        assert key[0] == 6
+
+    @given(st.lists(st.one_of(st.none(), st.integers(), st.binary(),
+                              st.text()), min_size=2, max_size=6))
+    def test_sorting_never_raises(self, values):
+        sorted(values, key=canonical_key)
+
+
+class TestBitDomain:
+    def test_membership(self):
+        assert BIT_DOMAIN.validate(0)
+        assert BIT_DOMAIN.validate(1)
+        assert not BIT_DOMAIN.validate(2)
+        assert not BIT_DOMAIN.validate(None)
+        assert not BIT_DOMAIN.validate("1")
+
+    def test_bool_accepted_as_bit(self):
+        # bools are ints in Python; the protocols treat True as 1.
+        assert BIT_DOMAIN.validate(True)
+
+    def test_singleton_helper(self):
+        assert bit_domain() is BIT_DOMAIN
+
+
+class TestDigestDomains:
+    def test_digest_domain(self):
+        d = digest_domain(64)
+        assert d.validate(b"\x00" * 8)
+        assert not d.validate(b"\x00" * 7)
+        assert not d.validate(None)
+        assert not d.validate("x" * 8)
+        assert len(d.default) == 8
+
+    def test_optional_digest_domain(self):
+        d = optional_digest_domain(64)
+        assert d.validate(None)
+        assert d.validate(b"\x11" * 8)
+        assert not d.validate(b"\x11" * 9)
+        assert d.default is None
+
+
+class TestNatDomain:
+    def test_unbounded(self):
+        d = nat_domain()
+        assert d.validate(0)
+        assert d.validate(10**100)
+        assert not d.validate(-1)
+        assert not d.validate(True)
+        assert not d.validate(1.5)
+
+    def test_bounded(self):
+        d = nat_domain(max_bits=8)
+        assert d.validate(255)
+        assert not d.validate(256)
+
+    def test_validate_never_raises(self):
+        d = nat_domain()
+
+        class Weird:
+            def __lt__(self, other):
+                raise RuntimeError("boom")
+
+        assert not d.validate(Weird())
+
+
+class TestBitstringDomain:
+    def test_any_length(self):
+        d = bitstring_domain()
+        assert d.validate(BitString(0, 0))
+        assert d.validate(BitString(5, 3))
+        assert not d.validate("101")
+
+    def test_exact_length(self):
+        d = bitstring_domain(4)
+        assert d.validate(BitString(5, 4))
+        assert not d.validate(BitString(5, 5))
+        assert d.default == BitString(0, 4)

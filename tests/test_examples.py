@@ -1,0 +1,60 @@
+"""Every example script must run green (they are executable docs)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sensor_fusion.py",
+    "blockchain_oracle.py",
+    "transaction_ordering.py",
+    "approximate_vs_convex.py",
+    "asynchronous_agreement.py",
+    "authenticated_minority.py",
+]
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= present
+    assert "communication_scaling.py" in present
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_output_contract():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "convex validity holds." in completed.stdout
+
+
+def test_sensor_fusion_shows_the_gap():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "sensor_fusion.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "OUTSIDE" in completed.stdout   # plain BA hijacked
+    assert "INSIDE" in completed.stdout    # CA safe

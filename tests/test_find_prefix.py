@@ -1,0 +1,173 @@
+"""``FindPrefix`` / ``FindPrefixBlocks`` tests (Lemmas 1 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitstrings import bits_fixed, longest_common_prefix
+from repro.core.find_prefix import find_prefix, find_prefix_blocks
+from repro.sim import RandomGarbageAdversary, run_protocol
+
+from conftest import adversary_params, honest_values
+
+KAPPA = 64
+ELL = 32
+
+
+def fp_factory(ell, unit_bits=1):
+    def factory(ctx, v):
+        return find_prefix(ctx, v, ell, unit_bits=unit_bits)
+
+    return factory
+
+
+def check_lemma1(inputs, result, ell):
+    """Assert the conclusion of Lemma 1 (resp. Lemma 4) for an execution."""
+    honest_ids = [p for p in range(len(inputs)) if p not in result.corrupted]
+    outputs = {p: result.outputs[p] for p in honest_ids}
+    prefixes = {p: out.prefix for p, out in outputs.items()}
+    # (same PREFIX* everywhere)
+    first = next(iter(prefixes.values()))
+    assert all(pfx == first for pfx in prefixes.values())
+    lo, hi = min(inputs[p] for p in honest_ids), max(
+        inputs[p] for p in honest_ids
+    )
+    for p, out in outputs.items():
+        # (i) PREFIX* prefixes BITS_l(v); v and v_bot valid.
+        assert bits_fixed(out.v, ell).has_prefix(out.prefix)
+        assert lo <= out.v <= hi, f"v={out.v} outside [{lo},{hi}]"
+        assert lo <= out.v_bot <= hi
+    return first, outputs
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_invariants_spread_inputs(self, adversary):
+        inputs = [3, 2**31 - 5, 2**20, 77, 2**30, 12345, 999]
+        result = run_protocol(fp_factory(ELL), inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        check_lemma1(inputs, result, ELL)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_identical_inputs_full_prefix(self, adversary):
+        inputs = [0xDEADBEEF] * 7
+        result = run_protocol(fp_factory(ELL), inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        prefix, outputs = check_lemma1(inputs, result, ELL)
+        assert prefix.length == ELL
+        assert all(out.v == 0xDEADBEEF for out in outputs.values())
+
+    def test_prefix_at_least_honest_lcp(self):
+        """The agreed prefix extends at least as far as the honest
+        inputs' longest common prefix (the central insight of Sec. 1.2)."""
+        base = 0b10110011 << (ELL - 8)
+        inputs = [base + i for i in range(7)]  # 24-bit honest LCP at least
+        result = run_protocol(fp_factory(ELL), inputs, 7, 2, kappa=KAPPA)
+        prefix, _ = check_lemma1(inputs, result, ELL)
+        honest = honest_values(inputs, result)
+        lcp = longest_common_prefix(
+            bits_fixed(min(honest), ELL), bits_fixed(max(honest), ELL)
+        )
+        assert prefix.length >= lcp.length
+        # and the prefix is consistent with the honest range:
+        assert prefix.min_fill(ELL) <= max(honest)
+        assert prefix.max_fill(ELL) >= min(honest)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**ELL - 1),
+                 min_size=7, max_size=7),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_invariants_random(self, inputs, seed):
+        result = run_protocol(
+            fp_factory(ELL), inputs, 7, 2, kappa=KAPPA,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        check_lemma1(inputs, result, ELL)
+
+
+class TestLemma4Blocks:
+    def test_invariants_blocks(self):
+        n, t = 4, 1
+        ell = n * n * 4  # 16 blocks of 4 bits
+        inputs = [0, 2**ell - 1, 2**(ell // 2), 5]
+        result = run_protocol(
+            lambda ctx, v: find_prefix_blocks(ctx, v, ell),
+            inputs, n, t, kappa=KAPPA,
+        )
+        prefix, _ = check_lemma1(inputs, result, ell)
+        # block granularity: prefix length is a multiple of block size
+        assert prefix.length % 4 == 0
+
+    def test_identical_inputs_blocks(self):
+        n, t = 4, 1
+        ell = n * n * 2
+        inputs = [(1 << ell) - 3] * n
+        result = run_protocol(
+            lambda ctx, v: find_prefix_blocks(ctx, v, ell),
+            inputs, n, t, kappa=KAPPA,
+        )
+        prefix, outputs = check_lemma1(inputs, result, ell)
+        assert prefix.length == ell
+
+    def test_custom_block_count(self):
+        n, t = 4, 1
+        ell = 24
+        inputs = [1, 2, 3, 4]
+        result = run_protocol(
+            lambda ctx, v: find_prefix_blocks(ctx, v, ell, num_blocks=8),
+            inputs, n, t, kappa=KAPPA,
+        )
+        check_lemma1(inputs, result, ell)
+
+
+class TestValidation:
+    def test_bad_ell(self):
+        from repro.sim import Context
+
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(find_prefix(ctx, 0, 0))
+
+    def test_unit_must_divide(self):
+        from repro.sim import Context
+
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(find_prefix(ctx, 0, 10, unit_bits=3))
+
+    def test_input_out_of_range(self):
+        from repro.sim import Context
+
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(find_prefix(ctx, 2**10, 10))
+
+    def test_blocks_divisibility(self):
+        from repro.sim import Context
+
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(find_prefix_blocks(ctx, 0, 17))
+
+
+class TestIterationCount:
+    def test_log_ell_iterations(self):
+        """FindPrefix runs O(log l) PI_lBA+ iterations (Lemma 1)."""
+        import math
+
+        ell = 64
+        inputs = [i * 997 for i in range(7)]
+        result = run_protocol(fp_factory(ell), inputs, 7, 2, kappa=KAPPA)
+        iterations = {
+            ch.split("/")[0]
+            for ch in result.stats.bits_by_channel
+            if ch.startswith("fp/i")
+        }
+        distinct = {
+            ch.split("/")[1] for ch in result.stats.bits_by_channel
+            if ch.startswith("fp/i")
+        }
+        assert len(distinct) <= math.ceil(math.log2(ell)) + 1

@@ -1,0 +1,139 @@
+"""``FixedLengthCA`` and ``FixedLengthCABlocks`` tests (Theorems 2, 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fixed_length import fixed_length_ca, fixed_length_ca_blocks
+from repro.sim import Context, RandomGarbageAdversary, run_protocol
+
+from conftest import adversary_params, assert_convex
+
+KAPPA = 64
+
+
+def flca(ell):
+    def factory(ctx, v):
+        return fixed_length_ca(ctx, v, ell)
+
+    return factory
+
+
+def flcab(ell):
+    def factory(ctx, v):
+        return fixed_length_ca_blocks(ctx, v, ell)
+
+    return factory
+
+
+class TestFixedLengthCA:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_spread_inputs(self, adversary):
+        ell = 24
+        inputs = [1, 2**ell - 1, 2**12, 7777, 2**20, 3, 2**18]
+        result = run_protocol(flca(ell), inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_unanimous(self, adversary):
+        result = run_protocol(flca(16), [54321] * 7, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert result.common_output() == 54321
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_clustered(self, adversary):
+        base = 0b1011 << 12
+        inputs = [base + i for i in range(7)]
+        result = run_protocol(flca(16), inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    def test_ell_one(self):
+        result = run_protocol(flca(1), [0, 1, 0, 1], 4, 1, kappa=KAPPA)
+        assert result.common_output() in (0, 1)
+
+    def test_ell_one_unanimous(self):
+        result = run_protocol(flca(1), [1] * 4, 4, 1, kappa=KAPPA)
+        assert result.common_output() == 1
+
+    def test_adjacent_values(self):
+        """Values differing in the last bit only."""
+        inputs = [100, 101, 100, 101, 100, 101, 100]
+        result = run_protocol(flca(8), inputs, 7, 2, kappa=KAPPA)
+        assert result.common_output() in (100, 101)
+
+    def test_extremes(self):
+        ell = 12
+        inputs = [0, 2**ell - 1, 0, 2**ell - 1, 0, 2**ell - 1, 0]
+        result = run_protocol(flca(ell), inputs, 7, 2, kappa=KAPPA)
+        assert_convex(inputs, result)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**20 - 1),
+                 min_size=4, max_size=4),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_inputs(self, inputs, seed):
+        result = run_protocol(
+            flca(20), inputs, 4, 1, kappa=KAPPA,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        assert_convex(inputs, result)
+
+
+class TestFixedLengthCABlocks:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_spread_inputs(self, adversary):
+        n, t = 4, 1
+        ell = n * n * 4  # 64 bits, 16 blocks
+        inputs = [0, 2**ell - 1, 2**30, 12345]
+        result = run_protocol(flcab(ell), inputs, n, t, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_unanimous(self, adversary):
+        n, t = 4, 1
+        ell = n * n * 2
+        value = (1 << ell) - 7
+        result = run_protocol(flcab(ell), [value] * n, n, t, kappa=KAPPA,
+                              adversary=adversary)
+        assert result.common_output() == value
+
+    def test_larger_network(self):
+        n, t = 7, 2
+        ell = n * n * 2  # 98 bits
+        inputs = [(1 << 90) + i * 10**9 for i in range(n)]
+        result = run_protocol(flcab(ell), inputs, n, t, kappa=KAPPA)
+        assert_convex(inputs, result)
+
+    def test_divisibility_enforced(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(fixed_length_ca_blocks(ctx, 0, 17))
+
+    def test_agrees_with_bit_variant_semantics(self):
+        """Both variants are CA protocols; on identical clustered inputs
+        both must return a value in the hull (not necessarily equal)."""
+        n, t = 4, 1
+        ell = 32
+        inputs = [0xABCD0000 + i for i in range(n)]
+        bit_result = run_protocol(flca(ell), inputs, n, t, kappa=KAPPA)
+        block_result = run_protocol(flcab(ell), inputs, n, t, kappa=KAPPA)
+        assert_convex(inputs, bit_result)
+        assert_convex(inputs, block_result)
+
+
+class TestComplexityShape:
+    def test_blocks_variant_fewer_iterations_for_long_inputs(self):
+        """Section 4's point: block search needs O(log n) iterations
+        versus O(log l) for bits, visible in round counts for large l."""
+        n, t = 4, 1
+        ell = 1024  # n^2 = 16 blocks of 64 bits
+        inputs = [(1 << 1000) + i for i in range(n)]
+        bit_result = run_protocol(flca(ell), inputs, n, t, kappa=KAPPA)
+        block_result = run_protocol(flcab(ell), inputs, n, t, kappa=KAPPA)
+        assert block_result.stats.rounds < bit_result.stats.rounds

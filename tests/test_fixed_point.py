@@ -1,0 +1,108 @@
+"""Fixed-point CA adapter tests (the paper's rational-inputs remark)."""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fixed_point import FixedPointCodec, fixed_point_ca
+from repro.sim import run_protocol
+
+from conftest import adversary_params
+
+KAPPA = 64
+
+
+class TestCodec:
+    def test_decimal_roundtrip(self):
+        codec = FixedPointCodec(2)
+        assert codec.to_int(Decimal("-10.04")) == -1004
+        assert codec.to_reading(-1004) == Fraction(-1004, 100)
+
+    def test_fraction_input(self):
+        codec = FixedPointCodec(3)
+        assert codec.to_int(Fraction(1, 8)) == 125
+
+    def test_int_input(self):
+        codec = FixedPointCodec(2)
+        assert codec.to_int(7) == 700
+
+    def test_rounding_half_away_from_zero(self):
+        codec = FixedPointCodec(0)
+        assert codec.to_int(Fraction(1, 2)) == 1
+        assert codec.to_int(Fraction(-1, 2)) == -1
+        assert codec.to_int(Fraction(1, 4)) == 0
+        assert codec.to_int(Fraction(-1, 4)) == 0
+
+    def test_floats_rejected(self):
+        codec = FixedPointCodec(2)
+        with pytest.raises(TypeError):
+            codec.to_int(10.04)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            FixedPointCodec(2).to_int(True)
+
+    def test_decimals_range(self):
+        with pytest.raises(ValueError):
+            FixedPointCodec(-1)
+        with pytest.raises(ValueError):
+            FixedPointCodec(101)
+
+    def test_zero_decimals(self):
+        codec = FixedPointCodec(0)
+        assert codec.to_int(Fraction(7)) == 7
+        assert codec.to_reading(7) == 7
+
+    @given(st.fractions(min_value=-1000, max_value=1000))
+    @settings(max_examples=50)
+    def test_quantisation_error_bounded(self, reading):
+        codec = FixedPointCodec(3)
+        recovered = codec.to_reading(codec.to_int(reading))
+        assert abs(recovered - reading) <= Fraction(1, 2 * codec.scale)
+
+
+class TestFixedPointCA:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_sensor_scenario(self, adversary):
+        readings = [
+            Decimal("-10.05"), Decimal("-10.04"), Decimal("-10.03"),
+            Decimal("-10.03"), Decimal("-10.05"), Decimal("-10.04"),
+            Decimal("-10.04"),
+        ]
+
+        def factory(ctx, reading):
+            return fixed_point_ca(ctx, reading, decimals=2)
+
+        result = run_protocol(factory, readings, 7, 2, kappa=KAPPA)
+        value = result.common_output()
+        honest = [
+            Fraction(readings[p]) for p in range(7)
+            if p not in result.corrupted
+        ]
+        assert min(honest) <= value <= max(honest)
+        # outputs are exact rationals with the declared precision:
+        assert value.denominator <= 100
+
+    def test_mixed_reading_types(self):
+        readings = [Decimal("1.5"), Fraction(3, 2), 2, Fraction(7, 4)]
+
+        def factory(ctx, reading):
+            return fixed_point_ca(ctx, reading, decimals=1)
+
+        result = run_protocol(factory, readings, 4, 1, kappa=KAPPA)
+        value = result.common_output()
+        assert Fraction(3, 2) <= value <= Fraction(2)
+
+    def test_quantised_hull(self):
+        """Readings closer than a quantum collapse to one value."""
+        readings = [Fraction(1, 1000)] * 4  # quantises to 0 at 1 decimal
+
+        def factory(ctx, reading):
+            return fixed_point_ca(ctx, reading, decimals=1)
+
+        result = run_protocol(factory, readings, 4, 1, kappa=KAPPA)
+        assert result.common_output() == 0

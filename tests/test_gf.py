@@ -1,0 +1,157 @@
+"""Field-axiom and vectorised-operation tests for GF(2^a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.gf import GF256, GF65536, BinaryField
+
+elements256 = st.integers(min_value=0, max_value=255)
+nonzero256 = st.integers(min_value=1, max_value=255)
+elements64k = st.integers(min_value=0, max_value=65535)
+nonzero64k = st.integers(min_value=1, max_value=65535)
+
+
+class TestFieldAxiomsGF256:
+    @given(elements256, elements256)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elements256, elements256, elements256)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elements256, elements256, elements256)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, b ^ c)
+        right = GF256.mul(a, b) ^ GF256.mul(a, c)
+        assert left == right
+
+    @given(elements256)
+    def test_mul_identity(self, a):
+        assert GF256.mul(a, 1) == a
+
+    @given(elements256)
+    def test_mul_zero(self, a):
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero256)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+    @given(nonzero256, nonzero256)
+    def test_div_inverts_mul(self, a, b):
+        assert GF256.div(GF256.mul(a, b), b) == a
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    @given(elements256, st.integers(min_value=0, max_value=600))
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e):
+            expected = GF256.mul(expected, a)
+        assert GF256.pow(a, e) == expected
+
+
+class TestFieldAxiomsGF65536:
+    @given(elements64k, elements64k)
+    def test_mul_commutative(self, a, b):
+        assert GF65536.mul(a, b) == GF65536.mul(b, a)
+
+    @given(nonzero64k)
+    def test_inverse(self, a):
+        assert GF65536.mul(a, GF65536.inv(a)) == 1
+
+    @given(elements64k, elements64k, elements64k)
+    def test_distributive(self, a, b, c):
+        left = GF65536.mul(a, b ^ c)
+        right = GF65536.mul(a, b) ^ GF65536.mul(a, c)
+        assert left == right
+
+    def test_pow_zero_exponent(self):
+        assert GF65536.pow(0, 0) == 1
+        assert GF65536.pow(12345, 0) == 1
+
+
+class TestVectorised:
+    @given(st.lists(elements256, min_size=1, max_size=40), elements256)
+    def test_scalar_mul_vec_matches_scalar(self, vec, scalar):
+        out = GF256.scalar_mul_vec(scalar, np.array(vec))
+        expected = [GF256.mul(scalar, v) for v in vec]
+        assert out.tolist() == expected
+
+    @given(
+        st.lists(elements256, min_size=1, max_size=20),
+        st.lists(elements256, min_size=1, max_size=20),
+    )
+    def test_mul_vec_matches_scalar(self, xs, ys):
+        size = min(len(xs), len(ys))
+        xs, ys = xs[:size], ys[:size]
+        out = GF256.mul_vec(np.array(xs), np.array(ys))
+        assert out.tolist() == [GF256.mul(a, b) for a, b in zip(xs, ys)]
+
+    def test_matmul_identity(self):
+        identity = [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        data = np.array([[5, 6], [7, 8], [9, 10]])
+        out = GF256.matmul(identity, data)
+        assert out.tolist() == data.tolist()
+
+    def test_matmul_matches_manual(self):
+        matrix = [[3, 1], [0, 7]]
+        data = np.array([[2, 4], [5, 6]])
+        out = GF256.matmul(matrix, data)
+        for r in range(2):
+            for c in range(2):
+                expected = GF256.mul(matrix[r][0], int(data[0, c])) ^ GF256.mul(
+                    matrix[r][1], int(data[1, c])
+                )
+                assert out[r, c] == expected
+
+
+class TestLinearAlgebra:
+    @given(st.integers(min_value=1, max_value=6), st.randoms())
+    def test_invert_vandermonde(self, size, rnd):
+        points = rnd.sample(range(1, 256), size)
+        matrix = GF256.vandermonde(points, size)
+        inverse = GF256.invert_matrix(matrix)
+        # matrix @ inverse == identity
+        for r in range(size):
+            for c in range(size):
+                acc = 0
+                for k in range(size):
+                    acc ^= GF256.mul(matrix[r][k], inverse[k][c])
+                assert acc == (1 if r == c else 0)
+
+    def test_invert_singular_raises(self):
+        with pytest.raises(ValueError):
+            GF256.invert_matrix([[1, 1], [1, 1]])
+
+    def test_invert_non_square_raises(self):
+        with pytest.raises(ValueError):
+            GF256.invert_matrix([[1, 0, 0], [0, 1, 0]])
+
+    def test_vandermonde_shape(self):
+        v = GF256.vandermonde([1, 2, 3], 2)
+        assert v == [[1, 1], [1, 2], [1, 3]]
+
+
+class TestConstruction:
+    def test_non_primitive_rejected(self):
+        # x^8 + x^4 + x^3 + x + 1 (0x11B, the AES polynomial) is
+        # irreducible but NOT primitive.
+        with pytest.raises(ValueError):
+            BinaryField(8, 0x11B)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryField(0, 0x3)
+        with pytest.raises(ValueError):
+            BinaryField(17, 0x3)
+
+    def test_order(self):
+        assert GF256.order == 256
+        assert GF65536.order == 65536

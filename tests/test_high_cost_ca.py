@@ -1,0 +1,147 @@
+"""``HighCostCA`` tests (Appendix A.4, Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.high_cost_ca import high_cost_ca
+from repro.sim import (
+    Adversary,
+    Context,
+    RandomGarbageAdversary,
+    ScriptedAdversary,
+    run_protocol,
+)
+
+from conftest import CONFIGS, adversary_params, assert_convex
+
+
+def factory(ctx, v):
+    return high_cost_ca(ctx, v)
+
+
+class TestConvexAgreement:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_ca_properties(self, n, t, adversary):
+        inputs = [100 + 7 * i for i in range(n)]
+        result = run_protocol(factory, inputs, n, t, adversary=adversary)
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_unanimous(self, adversary):
+        result = run_protocol(factory, [55] * 7, 7, 2, adversary=adversary)
+        assert result.common_output() == 55
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**9),
+                 min_size=7, max_size=7),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_inputs_random_garbage(self, inputs, seed):
+        result = run_protocol(
+            factory, inputs, 7, 2,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        assert_convex(inputs, result)
+
+    def test_zero_inputs(self):
+        result = run_protocol(factory, [0] * 4, 4, 1)
+        assert result.common_output() == 0
+
+    def test_huge_values(self):
+        inputs = [2**500 + i for i in range(7)]
+        result = run_protocol(factory, inputs, 7, 2)
+        assert_convex(inputs, result)
+
+    def test_input_validation(self):
+        ctx = Context(party_id=0, n=4, t=1)
+        with pytest.raises(ValueError):
+            next(high_cost_ca(ctx, -5))
+        with pytest.raises(ValueError):
+            next(high_cost_ca(ctx, "junk"))
+
+
+class TestTargetedAttacks:
+    def test_byzantine_kings_cannot_break_validity(self):
+        """Corrupt the first two kings; validity must survive their
+        arbitrary suggestions."""
+
+        class BadKings(Adversary):
+            def select_corruptions(self, n, t):
+                return {0, 1}
+
+            def mutate(self, view, src, dst, payload):
+                if view.channel.endswith("/king"):
+                    return 10**15
+                return payload
+
+        inputs = [50, 51, 52, 53, 54, 55, 56]
+        result = run_protocol(factory, inputs, 7, 2, adversary=BadKings())
+        assert_convex(inputs, result)
+
+    def test_lying_intervals_cannot_widen_hull(self):
+        """Byzantine parties claim absurd trusted intervals."""
+
+        def handler(view, src, dst, spec):
+            if view.channel.endswith("/interval"):
+                return (0, 10**18)
+            if view.channel.endswith("/input"):
+                return 10**18
+            return spec
+
+        inputs = [1000, 1001, 1002, 1003, 1004, 1005, 1006]
+        result = run_protocol(
+            factory, inputs, 7, 2, adversary=ScriptedAdversary(handler)
+        )
+        assert_convex(inputs, result)
+
+    def test_non_integer_junk_ignored(self):
+        """Values outside N are ignored at every step (the paper's rule)."""
+
+        def handler(view, src, dst, spec):
+            return ("PROP", -1.5)
+
+        inputs = [10, 11, 12, 13, 14, 15, 16]
+        result = run_protocol(
+            factory, inputs, 7, 2, adversary=ScriptedAdversary(handler)
+        )
+        assert_convex(inputs, result)
+
+    def test_huge_byzantine_values_not_forwarded(self):
+        """Honest communication must not blow up because byzantine
+        parties send enormous integers (contrast: prior CA protocols'
+        adversarially chosen communication, Section 1)."""
+        inputs = [100 + i for i in range(7)]
+        quiet = run_protocol(factory, inputs, 7, 2)
+
+        def handler(view, src, dst, spec):
+            return 2 ** 4096  # a 4 kilobit integer, everywhere
+
+        noisy = run_protocol(
+            factory, inputs, 7, 2, adversary=ScriptedAdversary(handler)
+        )
+        assert_convex(inputs, noisy)
+        assert noisy.stats.honest_bits <= 2 * quiet.stats.honest_bits
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_round_complexity_linear(self, n, t):
+        inputs = [10 * i for i in range(n)]
+        result = run_protocol(factory, inputs, n, t)
+        # setup (2 rounds) + 4 rounds per phase, t + 1 phases.
+        assert result.stats.rounds == 2 + 4 * (t + 1)
+
+    def test_bits_cubic_shape(self):
+        ell = 64
+        bits = {}
+        for n, t in ((4, 1), (10, 3)):
+            inputs = [(1 << (ell - 1)) + i for i in range(n)]
+            bits[n] = run_protocol(factory, inputs, n, t).stats.honest_bits
+        growth = bits[10] / bits[4]
+        # O(l n^3) with t+1 ~ n/3 phases: growth between quadratic and
+        # quartic in n for fixed l.
+        assert 2.5 ** 2 < growth < 2.5 ** 4.5

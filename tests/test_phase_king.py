@@ -1,0 +1,153 @@
+"""Phase-King BA tests: the assumed ``PI_BA`` must satisfy Definition 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ba import BIT_DOMAIN, digest_domain, nat_domain
+from repro.ba.phase_king import phase_king, phase_king_rounds
+from repro.sim import (
+    Adversary,
+    CrashAdversary,
+    ScriptedAdversary,
+    run_protocol,
+)
+
+from conftest import CONFIGS, adversary_params
+
+NAT = nat_domain()
+
+
+def pk_factory(domain):
+    def factory(ctx, v):
+        return phase_king(ctx, v, domain)
+
+    return factory
+
+
+class TestValidity:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_unanimous_nat(self, n, t, adversary):
+        result = run_protocol(pk_factory(NAT), [77] * n, n, t,
+                              adversary=adversary)
+        assert result.common_output() == 77
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_unanimous_bits(self, adversary):
+        for bit in (0, 1):
+            result = run_protocol(pk_factory(BIT_DOMAIN), [bit] * 7, 7, 2,
+                                  adversary=adversary)
+            assert result.common_output() == bit
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_unanimous_digests(self, adversary):
+        domain = digest_domain(64)
+        value = b"\xab" * 8
+        result = run_protocol(
+            pk_factory(domain), [value] * 7, 7, 2, kappa=64,
+            adversary=adversary,
+        )
+        assert result.common_output() == value
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_mixed_inputs_agree(self, n, t, adversary):
+        inputs = [i * 11 for i in range(n)]
+        result = run_protocol(pk_factory(NAT), inputs, n, t,
+                              adversary=adversary)
+        result.common_output()  # raises on disagreement
+
+    @given(st.lists(st.integers(min_value=0, max_value=3),
+                    min_size=7, max_size=7),
+           st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_random_inputs(self, inputs, seed):
+        from repro.sim import RandomGarbageAdversary
+
+        result = run_protocol(
+            pk_factory(NAT), inputs, 7, 2,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        result.common_output()
+
+
+class TestDomainGuarantees:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_binary_output_in_domain(self, adversary):
+        """For binary domains the output is always 0 or 1 -- Lemma 2's
+        'the bit agreed upon was proposed by an honest party' needs this."""
+        inputs = [0, 1, 0, 1, 0, 1, 0]
+        result = run_protocol(pk_factory(BIT_DOMAIN), inputs, 7, 2,
+                              adversary=adversary)
+        assert result.common_output() in (0, 1)
+
+    def test_invalid_own_input_coerced_to_default(self):
+        result = run_protocol(
+            pk_factory(BIT_DOMAIN), ["junk"] * 4, 4, 1
+        )
+        assert result.common_output() == BIT_DOMAIN.default
+
+    def test_byzantine_king_junk_coerced(self):
+        """A byzantine king broadcasting junk must not leave the domain."""
+
+        class JunkKing(Adversary):
+            def select_corruptions(self, n, t):
+                return {0}  # phase-0 king
+
+            def mutate(self, view, src, dst, payload):
+                return ("garbage", [1, 2, 3])
+
+        inputs = [0, 1, 1, 0, 1, 0, 1]
+        result = run_protocol(pk_factory(BIT_DOMAIN), inputs, 7, 2,
+                              adversary=JunkKing())
+        assert result.common_output() in (0, 1)
+
+
+class TestPersistence:
+    def test_agreement_persists_across_byzantine_kings(self):
+        """Once honest parties agree, later corrupted kings cannot break it.
+
+        Corrupt the LAST phase's king; honest parties start unanimous.
+        """
+
+        class LastKingLies(Adversary):
+            def select_corruptions(self, n, t):
+                return {t}  # king of the final phase (phase index t)
+
+            def mutate(self, view, src, dst, payload):
+                return 424242
+
+        result = run_protocol(pk_factory(NAT), [5] * 7, 7, 2,
+                              adversary=LastKingLies())
+        assert result.common_output() == 5
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_round_complexity_exact(self, n, t):
+        result = run_protocol(pk_factory(NAT), list(range(n)), n, t)
+        assert result.stats.rounds == phase_king_rounds(t)
+
+    def test_bits_quadratic_per_phase(self):
+        """Communication is O(value_bits * n^2) per phase."""
+        small = run_protocol(pk_factory(NAT), [1] * 7, 7, 2)
+        large = run_protocol(pk_factory(NAT), [2**64 - 1] * 7, 7, 2)
+        # 64x larger values: cost grows roughly linearly in value size.
+        assert large.stats.honest_bits > 10 * small.stats.honest_bits
+
+    def test_equivocating_king_cannot_inflate_honest_bits(self):
+        """Honest communication is adversary-independent up to message
+        content sizes (honest parties never forward byzantine blobs)."""
+        quiet = run_protocol(pk_factory(NAT), [3] * 7, 7, 2,
+                             adversary=CrashAdversary(0))
+        noisy = run_protocol(
+            pk_factory(NAT), [3] * 7, 7, 2,
+            adversary=ScriptedAdversary(lambda *a: 2**512),
+        )
+        # Byzantine 512-bit blobs are never echoed by honest parties;
+        # honest bits stay within the all-crash baseline (small values).
+        assert noisy.stats.honest_bits <= quiet.stats.honest_bits * 2

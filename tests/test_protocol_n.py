@@ -1,0 +1,135 @@
+"""``PI_N`` tests (Theorem 5): unknown-length CA for naturals."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocol_n import protocol_n
+from repro.sim import Context, RandomGarbageAdversary, run_protocol
+
+from conftest import adversary_params, assert_convex
+
+KAPPA = 64
+
+
+def factory(ctx, v):
+    return protocol_n(ctx, v)
+
+
+class TestShortBranch:
+    """Inputs of at most n^2 bits take the FixedLengthCA path."""
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_small_values(self, adversary):
+        inputs = [10, 20, 30, 40, 50, 60, 70]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_unanimous(self, adversary):
+        result = run_protocol(factory, [999] * 7, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert result.common_output() == 999
+
+    def test_zero_inputs(self):
+        result = run_protocol(factory, [0] * 4, 4, 1, kappa=KAPPA)
+        assert result.common_output() == 0
+
+    def test_zero_and_one(self):
+        inputs = [0, 1, 0, 1, 0, 1, 0]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA)
+        assert result.common_output() in (0, 1)
+
+    def test_mixed_magnitudes_within_short(self):
+        # n = 7 -> n^2 = 49 bits; values from 1 bit to 49 bits
+        inputs = [1, 2**10, 2**20, 2**30, 2**40, 2**48, 3]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA)
+        assert_convex(inputs, result)
+
+    def test_length_estimation_is_tight(self):
+        """l_EST <= 2 * min(l_max, n^2): cost must not explode for tiny
+        values (the estimation loop settles early)."""
+        tiny = run_protocol(factory, [2, 3, 2, 3] * 1, 4, 1, kappa=KAPPA)
+        assert_convex([2, 3, 2, 3], tiny)
+
+
+class TestLongBranch:
+    """Inputs longer than n^2 bits take the FixedLengthCABlocks path."""
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_long_values(self, adversary):
+        n, t = 4, 1  # n^2 = 16 bits
+        inputs = [2**100 + 5, 2**100 + 999, 2**101, 2**99]
+        result = run_protocol(factory, inputs, n, t, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    def test_unanimous_long(self):
+        n, t = 4, 1
+        value = 2**200 + 123456789
+        result = run_protocol(factory, [value] * n, n, t, kappa=KAPPA)
+        assert result.common_output() == value
+
+    def test_mixed_short_long(self):
+        """Some honest inputs short, some long: the class-bit BA picks a
+        branch and clamping preserves validity either way."""
+        n, t = 4, 1
+        inputs = [5, 2**100, 7, 2**100 + 1]
+        result = run_protocol(factory, inputs, n, t, kappa=KAPPA)
+        assert_convex(inputs, result)
+
+    def test_wildly_different_lengths(self):
+        n, t = 7, 2
+        inputs = [1, 2**60, 2**120, 2**180, 2**240, 2**300, 2**360]
+        result = run_protocol(factory, inputs, n, t, kappa=KAPPA)
+        assert_convex(inputs, result)
+
+    def test_clamping_edge_exact_multiple(self):
+        """Honest values of exactly l_EST bits must not be clamped out
+        of the hull (the >= vs > erratum in the paper's line 10)."""
+        n, t = 4, 1
+        # all honest equal, length exactly a multiple of n^2 = 16
+        value = (1 << 32) - 1  # 32 bits = 2 blocks of 16
+        result = run_protocol(factory, [value] * n, n, t, kappa=KAPPA)
+        assert result.common_output() == value
+
+
+class TestValidation:
+    def test_rejects_negative(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(protocol_n(ctx, -1))
+
+    def test_rejects_bool(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(protocol_n(ctx, True))
+
+    def test_rejects_non_int(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(protocol_n(ctx, 1.5))
+
+
+class TestRandomised:
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=2**60),
+                st.integers(min_value=0, max_value=2**200),
+            ),
+            min_size=4,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_ca_random_inputs(self, inputs, seed):
+        result = run_protocol(
+            factory, inputs, 4, 1, kappa=KAPPA,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        assert_convex(inputs, result)

@@ -1,0 +1,125 @@
+"""``PI_Z`` tests (Corollaries 1-2): the final integer CA protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocol_z import protocol_z
+from repro.sim import Context, RandomGarbageAdversary, run_protocol
+
+from conftest import CONFIGS, adversary_params, assert_convex
+
+KAPPA = 64
+
+
+def factory(ctx, v):
+    return protocol_z(ctx, v)
+
+
+class TestConvexAgreement:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_positive_inputs(self, n, t, adversary):
+        inputs = [100 + 13 * i for i in range(n)]
+        result = run_protocol(factory, inputs, n, t, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_negative_inputs(self, adversary):
+        inputs = [-100 - 13 * i for i in range(7)]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_mixed_signs(self, adversary):
+        inputs = [-30, -20, -10, 0, 10, 20, 30]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert_convex(inputs, result)
+
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_unanimous_negative(self, adversary):
+        result = run_protocol(factory, [-424242] * 7, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        assert result.common_output() == -424242
+
+    def test_zero_crossing_pairs(self):
+        inputs = [-1, 1, -1, 1, -1, 1, -1]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA)
+        assert result.common_output() in (-1, 0, 1)
+
+    def test_all_zero(self):
+        result = run_protocol(factory, [0] * 4, 4, 1, kappa=KAPPA)
+        assert result.common_output() == 0
+
+    def test_long_negative_values(self):
+        n, t = 4, 1
+        inputs = [-(2**100) - i for i in range(n)]
+        result = run_protocol(factory, inputs, n, t, kappa=KAPPA)
+        assert_convex(inputs, result)
+
+    def test_asymmetric_magnitudes(self):
+        inputs = [-5, 2**80, -7, 2**80 + 4]
+        result = run_protocol(factory, inputs, 4, 1, kappa=KAPPA)
+        assert_convex(inputs, result)
+
+
+class TestSignAgreement:
+    def test_agreed_sign_has_honest_support(self):
+        """If the output is negative, some honest input was negative; if
+        positive, some honest input was >= 0 (Corollary 1's argument)."""
+        inputs = [-10, -20, 30, 40, -50, 60, -70]
+        result = run_protocol(factory, inputs, 7, 2, kappa=KAPPA)
+        out = result.common_output()
+        honest = [inputs[p] for p in range(7) if p not in result.corrupted]
+        if out < 0:
+            assert any(v < 0 for v in honest)
+        if out > 0:
+            assert any(v > 0 for v in honest)
+        assert_convex(inputs, result)
+
+
+class TestValidation:
+    def test_rejects_non_int(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(protocol_z(ctx, 1.5))
+        with pytest.raises(ValueError):
+            next(protocol_z(ctx, False))
+
+
+class TestRandomised:
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**40), max_value=2**40),
+            min_size=4,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_ca_random_integers(self, inputs, seed):
+        result = run_protocol(
+            factory, inputs, 4, 1, kappa=KAPPA,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        assert_convex(inputs, result)
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**200), max_value=2**200),
+            min_size=4,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_ca_random_huge_integers(self, inputs, seed):
+        result = run_protocol(
+            factory, inputs, 4, 1, kappa=KAPPA,
+            adversary=RandomGarbageAdversary(seed),
+        )
+        assert_convex(inputs, result)

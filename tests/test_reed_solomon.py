@@ -1,0 +1,171 @@
+"""Reed-Solomon codec tests: roundtrips, erasures, malformed inputs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.gf import GF256
+from repro.coding.reed_solomon import ReedSolomonCode, rs_code
+from repro.errors import CodingError
+
+payloads = st.binary(min_size=0, max_size=400)
+
+
+class TestEncode:
+    def test_share_count(self):
+        code = rs_code(7, 5)
+        assert len(code.encode(b"hello")) == 7
+
+    def test_share_lengths_equal_and_predicted(self):
+        code = rs_code(7, 5)
+        shares = code.encode(b"x" * 123)
+        lengths = {len(s) for s in shares}
+        assert lengths == {code.share_length(123)}
+
+    def test_share_length_scales_inverse_k(self):
+        # share size ~ l / k symbols: doubling the payload roughly
+        # doubles share length.
+        code = rs_code(10, 7)
+        small = code.share_length(100)
+        big = code.share_length(1000)
+        assert 8 <= big / small <= 12
+
+    def test_deterministic(self):
+        code = rs_code(7, 5)
+        assert code.encode(b"abc") == code.encode(b"abc")
+
+    def test_distinct_payloads_distinct_codewords(self):
+        code = rs_code(7, 5)
+        assert code.encode(b"abc") != code.encode(b"abd")
+
+
+class TestDecode:
+    @given(payloads, st.randoms(use_true_random=False))
+    @settings(max_examples=50)
+    def test_roundtrip_any_k_subset(self, data, rnd):
+        code = rs_code(7, 5)
+        shares = code.encode(data)
+        subset = rnd.sample(range(7), 5)
+        assert code.decode({i: shares[i] for i in subset}) == data
+
+    @given(payloads)
+    @settings(max_examples=25)
+    def test_roundtrip_with_extra_shares(self, data):
+        code = rs_code(7, 5)
+        shares = code.encode(data)
+        assert code.decode(dict(enumerate(shares))) == data
+
+    def test_too_few_shares(self):
+        code = rs_code(7, 5)
+        shares = code.encode(b"data")
+        with pytest.raises(CodingError):
+            code.decode({i: shares[i] for i in range(4)})
+
+    def test_inconsistent_lengths(self):
+        code = rs_code(7, 5)
+        shares = code.encode(b"data")
+        bad = {i: shares[i] for i in range(5)}
+        bad[0] = bad[0] + b"\x00\x00"
+        with pytest.raises(CodingError):
+            code.decode(bad)
+
+    def test_index_out_of_range(self):
+        code = rs_code(7, 5)
+        shares = code.encode(b"data")
+        bad = {i: shares[i] for i in range(4)}
+        bad[99] = shares[4]
+        with pytest.raises(CodingError):
+            code.decode(bad)
+
+    def test_non_symbol_multiple_length(self):
+        code = rs_code(7, 5)
+        with pytest.raises(CodingError):
+            code.decode({i: b"\x01" for i in range(5)})
+
+    def test_corrupted_share_changes_output_or_raises(self):
+        # RS here is an *erasure* code: a silently corrupted share decodes
+        # to garbage (or fails framing).  The Merkle layer upstream is
+        # what detects corruption; this test documents the division of
+        # labour.
+        code = rs_code(7, 5)
+        data = b"the quick brown fox jumps"
+        shares = code.encode(data)
+        tampered = bytearray(shares[0])
+        tampered[0] ^= 0xFF
+        subset = {0: bytes(tampered), 1: shares[1], 2: shares[2],
+                  3: shares[3], 4: shares[4]}
+        try:
+            decoded = code.decode(subset)
+        except CodingError:
+            decoded = None
+        assert decoded != data
+
+
+class TestParameters:
+    def test_k_greater_than_n_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomonCode(3, 4)
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomonCode(3, 0)
+
+    def test_n_exceeding_field_rejected(self):
+        with pytest.raises(CodingError):
+            ReedSolomonCode(256, 100, field=GF256)
+
+    def test_gf256_field_roundtrip(self):
+        code = ReedSolomonCode(10, 7, field=GF256)
+        data = b"gf256 works too"
+        shares = code.encode(data)
+        assert code.decode({i: shares[i] for i in (0, 2, 3, 5, 6, 8, 9)}) == data
+
+    def test_n_equals_k(self):
+        code = ReedSolomonCode(4, 4)
+        data = b"no redundancy"
+        shares = code.encode(data)
+        assert code.decode(dict(enumerate(shares))) == data
+
+    def test_k_one_replication(self):
+        code = ReedSolomonCode(4, 1)
+        data = b"replicated"
+        shares = code.encode(data)
+        for i in range(4):
+            assert code.decode({i: shares[i]}) == data
+
+    def test_rs_code_cached(self):
+        assert rs_code(7, 5) is rs_code(7, 5)
+
+
+class TestFraming:
+    def test_empty_payload(self):
+        code = rs_code(4, 3)
+        shares = code.encode(b"")
+        assert code.decode({0: shares[0], 1: shares[1], 3: shares[3]}) == b""
+
+    def test_single_byte(self):
+        code = rs_code(4, 3)
+        shares = code.encode(b"\x00")
+        assert code.decode({0: shares[0], 2: shares[2], 3: shares[3]}) == b"\x00"
+
+    @given(st.integers(min_value=0, max_value=64))
+    @settings(max_examples=20)
+    def test_all_zero_payloads(self, size):
+        code = rs_code(5, 3)
+        data = b"\x00" * size
+        shares = code.encode(data)
+        assert code.decode({0: shares[0], 1: shares[1], 4: shares[4]}) == data
+
+    def test_tampered_length_header_detected(self):
+        # Build shares of a *non-codeword* by mixing two encodings; the
+        # framing/padding checks catch most such mixtures.
+        code = rs_code(4, 2)
+        a = code.encode(b"\xff" * 40)
+        b = code.encode(b"\x11" * 2)
+        mixed = {0: a[0], 1: b[1]}
+        try:
+            decoded = code.decode(mixed)
+        except CodingError:
+            decoded = None
+        assert decoded not in (b"\xff" * 40, b"\x11" * 2)

@@ -1,0 +1,34 @@
+"""Report-generator tests."""
+
+from __future__ import annotations
+
+from repro.analysis.report import QUICK, ReportSection, generate_report
+
+
+class TestReportSections:
+    def test_section_render(self):
+        section = ReportSection(
+            experiment="T9",
+            title="demo",
+            table="a | b",
+            notes=["note one", "note two"],
+        )
+        text = section.render()
+        assert text.startswith("== T9: demo ==")
+        assert "* note one" in text
+        assert "* note two" in text
+
+
+class TestGenerateReport:
+    def test_quick_report_structure(self):
+        text = generate_report(QUICK)
+        for experiment in ("T3", "T4", "T5", "F1"):
+            assert f"== {experiment}:" in text
+        assert "quick scale" in text
+        assert "bits per extra input bit" in text
+
+    def test_report_contains_all_protocols(self):
+        text = generate_report(QUICK)
+        for name in ("pi_z", "high_cost_ca", "broadcast_ca",
+                     "fixed_length_ca_blocks"):
+            assert name in text

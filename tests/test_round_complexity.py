@@ -1,0 +1,135 @@
+"""Exact and bounded round-complexity checks per protocol.
+
+The paper states round complexities symbolically (in units of
+``ROUNDS(PI_BA)``); with Phase-King as the instantiated ``PI_BA`` every
+bound becomes a concrete number we can pin down, which catches protocols
+silently adding rounds during refactors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ba import BIT_DOMAIN, ba_plus, ext_ba_plus, nat_domain, phase_king
+from repro.ba.phase_king import phase_king_rounds
+from repro.core.fixed_length import fixed_length_ca
+from repro.core.high_cost_ca import high_cost_ca
+from repro.core.protocol_z import protocol_z
+from repro.sim import run_protocol
+
+from conftest import CONFIGS
+
+KAPPA = 64
+
+
+class TestExactRounds:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_phase_king(self, n, t):
+        result = run_protocol(
+            lambda ctx, v: phase_king(ctx, v, nat_domain()),
+            list(range(n)), n, t, kappa=KAPPA,
+        )
+        assert result.stats.rounds == phase_king_rounds(t)
+
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_high_cost_ca(self, n, t):
+        result = run_protocol(
+            lambda ctx, v: high_cost_ca(ctx, v),
+            list(range(n)), n, t, kappa=KAPPA,
+        )
+        assert result.stats.rounds == 2 + 4 * (t + 1)
+
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_ba_plus_non_bottom_path(self, n, t):
+        """Unanimous inputs: 2 exchange rounds + exactly 2 BA calls
+        (agreement on `a` + confirmation) -- early termination."""
+        value = b"\x55" * (KAPPA // 8)
+        result = run_protocol(
+            lambda ctx, v: ba_plus(ctx, v), [value] * n, n, t, kappa=KAPPA
+        )
+        assert result.stats.rounds == 2 + 2 * phase_king_rounds(t)
+
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_ba_plus_bottom_path(self, n, t):
+        """All-distinct inputs: the full 4 BA calls are exercised."""
+        inputs = [bytes([i + 1]) * (KAPPA // 8) for i in range(n)]
+        result = run_protocol(
+            lambda ctx, v: ba_plus(ctx, v), inputs, n, t, kappa=KAPPA
+        )
+        assert result.stats.rounds == 2 + 4 * phase_king_rounds(t)
+
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_ext_ba_plus_agreeing(self, n, t):
+        """Theorem 1: O(1) + ROUNDS(PI_BA+): +2 distributing rounds."""
+        payload = b"\x42" * 100
+        result = run_protocol(
+            lambda ctx, v: ext_ba_plus(ctx, v), [payload] * n, n, t,
+            kappa=KAPPA,
+        )
+        assert result.stats.rounds == 2 + 2 * phase_king_rounds(t) + 2
+
+    def test_ext_ba_plus_bottom_skips_distribution(self):
+        n, t = 7, 2
+        inputs = [bytes([i + 1]) * 100 for i in range(n)]
+        result = run_protocol(
+            lambda ctx, v: ext_ba_plus(ctx, v), inputs, n, t, kappa=KAPPA
+        )
+        assert result.stats.rounds == 2 + 4 * phase_king_rounds(t)
+
+
+class TestBoundedRounds:
+    @pytest.mark.parametrize("ell", [16, 64, 256])
+    def test_fixed_length_ca_log_ell_iterations(self, ell):
+        """Theorem 2: at most ceil(log2 ell) + 1 PI_lBA+ invocations,
+        each of at most 2 + 4 R_BA + 2 rounds, plus AddLastBit and
+        GetOutput."""
+        n, t = 4, 1
+        r_ba = phase_king_rounds(t)
+        iterations = math.ceil(math.log2(ell)) + 1
+        per_iteration = 2 + 4 * r_ba + 2
+        bound = iterations * per_iteration + r_ba + (1 + r_ba)
+        inputs = [i * (2**ell // 8 + 1) % 2**ell for i in range(n)]
+        result = run_protocol(
+            lambda ctx, v: fixed_length_ca(ctx, v, ell),
+            inputs, n, t, kappa=KAPPA,
+        )
+        assert result.stats.rounds <= bound
+
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    def test_pi_z_n_log_n(self, n, t):
+        """Corollary 2 shape: rounds = O(n log n) with a deterministic
+        quadratic-style PI_BA; generous constant."""
+        inputs = [1000 + i for i in range(n)]
+        result = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v), inputs, n, t, kappa=KAPPA
+        )
+        assert result.stats.rounds <= 60 * n * math.log2(max(2, n))
+
+    def test_pi_z_rounds_independent_of_ell(self):
+        """At fixed n, the round count does not grow with ell in the
+        blocks regime (O(log n) iterations)."""
+        n, t = 4, 1
+        short = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v),
+            [(1 << 100) + i for i in range(n)], n, t, kappa=KAPPA,
+        )
+        long = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v),
+            [(1 << 6400) + i for i in range(n)], n, t, kappa=KAPPA,
+        )
+        assert long.stats.rounds == short.stats.rounds
+
+
+class TestScale:
+    def test_n16_end_to_end(self):
+        """One larger-scale sanity run: n=16, t=5."""
+        n, t = 16, 5
+        inputs = [10**6 + 17 * i for i in range(n)]
+        result = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v), inputs, n, t, kappa=KAPPA
+        )
+        value = result.common_output()
+        honest = [inputs[p] for p in range(n) if p not in result.corrupted]
+        assert min(honest) <= value <= max(honest)

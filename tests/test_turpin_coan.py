@@ -1,0 +1,59 @@
+"""Turpin-Coan reduction tests (alternative PI_BA / ablation substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ba.domains import nat_domain
+from repro.ba.turpin_coan import turpin_coan
+from repro.sim import run_protocol
+
+from conftest import CONFIGS, adversary_params
+
+NAT = nat_domain()
+
+
+def factory(ctx, v):
+    return turpin_coan(ctx, v, NAT)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("n,t", CONFIGS)
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_unanimous(self, n, t, adversary):
+        result = run_protocol(factory, [123456] * n, n, t,
+                              adversary=adversary)
+        assert result.common_output() == 123456
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_mixed(self, adversary):
+        inputs = [10, 20, 30, 40, 50, 60, 70]
+        result = run_protocol(factory, inputs, 7, 2, adversary=adversary)
+        result.common_output()
+
+
+class TestIntrusionTolerance:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_output_is_honest_or_bottom(self, adversary):
+        inputs = [10, 20, 30, 40, 50, 60, 70]
+        result = run_protocol(factory, inputs, 7, 2, adversary=adversary)
+        out = result.common_output()
+        honest = {inputs[p] for p in range(7) if p not in result.corrupted}
+        assert out is None or out in honest
+
+
+class TestStrongPreAgreement:
+    def test_full_honest_quorum_delivers(self):
+        """n - t honest parties with the same value always deliver it
+        (stronger than needed: every honest sees n - t copies)."""
+        inputs = [9] * 5 + [1, 2]
+        result = run_protocol(factory, inputs, 7, 2)
+        assert result.common_output() == 9
+
+    def test_invalid_input_coerced(self):
+        result = run_protocol(
+            lambda ctx, v: turpin_coan(ctx, v, NAT), ["junk"] * 4, 4, 1
+        )
+        assert result.common_output() == NAT.default

@@ -1,0 +1,77 @@
+"""Coordinate-wise vector CA tests (box validity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vector import vector_convex_agreement
+from repro.sim import Context, run_protocol
+
+from conftest import adversary_params
+
+KAPPA = 64
+
+
+def factory(dimension):
+    def build(ctx, v):
+        return vector_convex_agreement(ctx, v, dimension)
+
+    return build
+
+
+def check_box_validity(inputs, result, dimension):
+    honest_ids = [p for p in range(len(inputs)) if p not in result.corrupted]
+    output = result.common_output()
+    assert len(output) == dimension
+    for c in range(dimension):
+        coords = [inputs[p][c] for p in honest_ids]
+        assert min(coords) <= output[c] <= max(coords), (
+            f"coordinate {c}: {output[c]} outside "
+            f"[{min(coords)}, {max(coords)}]"
+        )
+    return output
+
+
+class TestVectorCA:
+    @pytest.mark.parametrize("adversary", adversary_params())
+    def test_box_validity_2d(self, adversary):
+        inputs = [(i, -10 * i) for i in range(7)]
+        result = run_protocol(factory(2), inputs, 7, 2, kappa=KAPPA,
+                              adversary=adversary)
+        check_box_validity(inputs, result, 2)
+
+    def test_unanimous_vector(self):
+        value = (3, -1, 4)
+        result = run_protocol(factory(3), [value] * 4, 4, 1, kappa=KAPPA)
+        assert result.common_output() == value
+
+    def test_3d_mixed(self):
+        inputs = [
+            (0, 100, -5),
+            (1, 110, -6),
+            (2, 105, -7),
+            (3, 102, -4),
+        ]
+        result = run_protocol(factory(3), inputs, 4, 1, kappa=KAPPA)
+        check_box_validity(inputs, result, 3)
+
+    def test_dimension_mismatch(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(vector_convex_agreement(ctx, [1, 2], 3))
+
+    def test_non_integer_entries(self):
+        ctx = Context(party_id=0, n=4, t=1, kappa=KAPPA)
+        with pytest.raises(ValueError):
+            next(vector_convex_agreement(ctx, [1, 2.5], 2))
+
+    def test_single_dimension_matches_pi_z_semantics(self):
+        inputs = [(v,) for v in (-5, -2, 3, 10)]
+        result = run_protocol(factory(1), inputs, 4, 1, kappa=KAPPA)
+        out = check_box_validity(inputs, result, 1)
+        assert isinstance(out, tuple) and len(out) == 1
+
+    def test_large_coordinates(self):
+        inputs = [(2**80 + i, -(2**70) - i) for i in range(4)]
+        result = run_protocol(factory(2), inputs, 4, 1, kappa=KAPPA)
+        check_box_validity(inputs, result, 2)
