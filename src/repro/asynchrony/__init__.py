@@ -19,6 +19,7 @@ from .network import (
     RandomScheduler,
     Scheduler,
     TargetedDelayScheduler,
+    default_delivery_budget,
 )
 from .rbc import BrachaRBC, parse_rbc, rbc_message
 
@@ -34,6 +35,7 @@ __all__ = [
     "RandomScheduler",
     "Scheduler",
     "TargetedDelayScheduler",
+    "default_delivery_budget",
     "parse_rbc",
     "rbc_message",
 ]

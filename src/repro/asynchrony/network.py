@@ -48,7 +48,22 @@ __all__ = [
     "RandomScheduler",
     "TargetedDelayScheduler",
     "AsyncAdversary",
+    "default_delivery_budget",
 ]
+
+
+def default_delivery_budget(n: int, t: int) -> int:
+    """Delivery cap derived from the protocol-family complexity.
+
+    Asynchronous AA needs ``O(log(range/eps))`` iterations of ``n`` RBC
+    instances, each ``O(n^2)`` messages; the range factor is unknown to
+    the network, so the budget keeps a generous floor and scales the
+    quadratic part with ``n`` and ``t``.  The point is to turn a
+    non-terminating execution into a diagnosable
+    :class:`~repro.errors.SimulationError` (with partial outputs
+    attached), not to ration legitimate runs.
+    """
+    return max(500_000, 2_000 * n * n * (t + 2))
 
 
 @dataclass(frozen=True)
@@ -266,14 +281,18 @@ class AsyncNetwork:
         kappa: int = 128,
         scheduler: Scheduler | None = None,
         adversary: AsyncAdversary | None = None,
-        max_deliveries: int = 2_000_000,
+        max_deliveries: int | None = None,
     ) -> None:
         self.n = n
         self.t = t
         self.kappa = kappa
         self.scheduler = scheduler or FifoScheduler()
         self.adversary = adversary or AsyncAdversary()
-        self.max_deliveries = max_deliveries
+        self.max_deliveries = (
+            default_delivery_budget(n, t)
+            if max_deliveries is None
+            else max_deliveries
+        )
 
         self.corrupted = set(self.adversary.select_corruptions(n, t))
         if len(self.corrupted) > t:
@@ -336,15 +355,28 @@ class AsyncNetwork:
             if not deliverable:
                 if self._all_decided():
                     break
+                undecided = sorted(
+                    p for p in self._parties if p not in self._outputs
+                )
                 raise SimulationError(
-                    "asynchronous deadlock: undecided honest parties but "
-                    "no pending messages"
+                    "asynchronous deadlock: honest parties "
+                    f"{undecided} undecided but no pending messages "
+                    f"after {deliveries} deliveries",
+                    stats=self.stats,
+                    outputs=dict(self._outputs),
                 )
             message = self.scheduler.choose(deliverable)
             self._pending.remove(message)
             deliveries += 1
             if deliveries > self.max_deliveries:
-                raise SimulationError("delivery limit exceeded")
+                raise SimulationError(
+                    f"delivery budget {self.max_deliveries:,} exceeded "
+                    f"(n={self.n}, t={self.t}, "
+                    f"scheduler={self.scheduler.describe()}): "
+                    "likely non-termination",
+                    stats=self.stats,
+                    outputs=dict(self._outputs),
+                )
             receiver = self._parties.get(message.dst)
             if receiver is not None:
                 receiver.on_message(message.src, message.payload)

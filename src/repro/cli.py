@@ -8,6 +8,9 @@ Commands:
   measurement table.
 * ``compare`` -- the F1 comparison (PI_Z vs baselines) at chosen sizes.
 * ``report``  -- regenerate the quick experiment report (T/F battery).
+* ``fuzz``    -- chaos campaign: random configs under invariant monitors,
+  failing cases shrunk to minimal JSON repro artifacts.
+* ``replay``  -- re-execute a fuzz artifact and check it still reproduces.
 
 Examples::
 
@@ -15,13 +18,17 @@ Examples::
     python -m repro sweep --protocol pi_z --n 7 --ells 256,1024,4096
     python -m repro compare --n 7 --ells 1024,16384
     python -m repro report --scale quick
+    python -m repro fuzz --runs 50 --seed 0 --artifact-dir artifacts
+    python -m repro replay artifacts/repro-0-0012.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from .errors import ReproError
 from .analysis import (
     PROTOCOLS,
     comparison_series,
@@ -114,6 +121,29 @@ def build_parser() -> argparse.ArgumentParser:
                         default="quick")
     report.add_argument("--output", default=None,
                         help="write the report to a file instead of stdout")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="chaos campaign under invariant monitors"
+    )
+    fuzz.add_argument("--runs", type=int, default=50,
+                      help="number of random cases to execute")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (fully determines every case)")
+    fuzz.add_argument("--artifact-dir", default=None,
+                      help="directory for shrunk JSON repro artifacts")
+    fuzz.add_argument("--protocols", type=_str_list, default=None,
+                      help="restrict to these registry protocols")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="keep full failing scripts (skip delta-debugging)")
+    fuzz.add_argument("--max-shrink-runs", type=int, default=400,
+                      help="replay budget per shrink")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="only print the final summary")
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a fuzz repro artifact"
+    )
+    replay.add_argument("artifact", help="path to a repro-fuzz JSON file")
 
     return parser
 
@@ -211,6 +241,66 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .sim.fuzz import fuzz
+
+    progress = None if args.quiet else (
+        lambda index, case: print(f"[{index + 1}/{args.runs}] "
+                                  f"{case.describe()}")
+    )
+    try:
+        report = fuzz(
+            runs=args.runs,
+            seed=args.seed,
+            protocols=args.protocols,
+            artifact_dir=args.artifact_dir,
+            shrink=not args.no_shrink,
+            max_shrink_runs=args.max_shrink_runs,
+            progress=progress,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def _cmd_replay(args) -> int:
+    from .sim.fuzz import load_artifact, replay_artifact
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except FileNotFoundError:
+        print(f"error: no such artifact: {args.artifact}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    case = artifact["case"]
+    print(f"artifact : {args.artifact}")
+    print(f"case     : {case['protocol']} n={case['n']} t={case['t']} "
+          f"ell={case['ell']} seed={case['seed']}")
+    print(f"recorded : {artifact['violation']['message']}")
+    try:
+        outcome = replay_artifact(artifact)
+    except KeyError:
+        print(f"error    : protocol {case['protocol']!r} is not in the "
+              "standard registry (artifact from a custom registry?)")
+        return 2
+    except ReproError as error:
+        print(f"error    : inconsistent artifact: {error}")
+        return 2
+    if outcome.violated:
+        print(f"replayed : {outcome.message}")
+    else:
+        print("replayed : no violation")
+    if outcome.matches(artifact):
+        print("verdict  : REPRODUCED")
+        return 0
+    print("verdict  : DID NOT REPRODUCE")
+    return 1
+
+
 def _run_authenticated(args, adversary):
     from .authenticated import authenticated_ca
     from .core.api import ConvexAgreementOutcome
@@ -234,6 +324,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "compare": _cmd_compare,
     "report": _cmd_report,
+    "fuzz": _cmd_fuzz,
+    "replay": _cmd_replay,
 }
 
 

@@ -1,4 +1,19 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+Simulation-level failures carry as much of the execution state as the
+simulator had at the moment of failure (the partial trace, the
+communication stats, any outputs already produced), so non-terminating
+or invariant-violating runs can be diagnosed -- and minimised by the
+fuzz harness -- without re-running under a debugger.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sim.metrics import CommunicationStats
+    from .sim.trace import RoundRecord
 
 
 class ReproError(Exception):
@@ -10,7 +25,27 @@ class ConfigurationError(ReproError):
 
 
 class SimulationError(ReproError):
-    """The simulator reached an invalid state (e.g. round-limit exceeded)."""
+    """The simulator reached an invalid state (e.g. round-limit exceeded).
+
+    Attributes:
+        trace: the partial per-round trace up to the failure (``None``
+            when the execution ran without tracing).
+        stats: the communication stats accumulated before the failure.
+        outputs: outputs of the parties that had already terminated.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        trace: "list[RoundRecord] | None" = None,
+        stats: "CommunicationStats | None" = None,
+        outputs: dict[int, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.trace = trace
+        self.stats = stats
+        self.outputs = outputs
 
 
 class ProtocolViolation(ReproError):
@@ -18,7 +53,27 @@ class ProtocolViolation(ReproError):
 
     This should never fire when the adversary respects the ``t < n/3``
     corruption bound; it indicates either a bug or an over-powered adversary.
+
+    Attributes:
+        monitor: name of the :class:`~repro.sim.invariants.InvariantMonitor`
+            that detected the violation (``None`` for ad-hoc raises).
+        record: the :class:`~repro.sim.trace.RoundRecord` of the offending
+            round, when the violation was detected online.
+        trace: the partial trace up to (and including) the violation.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        monitor: str | None = None,
+        record: "RoundRecord | None" = None,
+        trace: "list[RoundRecord] | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.monitor = monitor
+        self.record = record
+        self.trace = trace
 
 
 class CodingError(ReproError):

@@ -2,7 +2,11 @@
 
 This subpackage implements the execution model the paper assumes
 (Section 2): lockstep rounds over authenticated channels, a rushing
-adaptive byzantine adversary, and bit-exact communication accounting.
+adaptive byzantine adversary, and bit-exact communication accounting --
+plus the robustness layer on top of it: online invariant monitors
+(:mod:`repro.sim.invariants`), a composable fault-injection plane
+(:mod:`repro.sim.faults`), and a chaos driver with shrinking repro
+artifacts (:mod:`repro.sim.fuzz`).
 """
 
 from .adversary import (
@@ -22,8 +26,26 @@ from .adversary import (
     WitnessSuppressionAdversary,
     standard_adversary_suite,
 )
+from .faults import (
+    ComposedAdversary,
+    FaultInjector,
+    FaultSpec,
+    RecordingAdversary,
+    ReplayAdversary,
+)
+from .invariants import (
+    AgreementMonitor,
+    BitBudgetMonitor,
+    ConvexValidityMonitor,
+    InvariantMonitor,
+    LockstepMonitor,
+    RoundBudgetMonitor,
+    default_monitors,
+    paper_bit_budget,
+    paper_round_budget,
+)
 from .metrics import CommunicationStats
-from .network import ExecutionResult, SynchronousNetwork
+from .network import ExecutionResult, SynchronousNetwork, default_round_budget
 from .combinators import run_parallel
 from .party import Context, Outgoing, Proto, broadcast_round, exchange
 from .runner import run_protocol
@@ -34,18 +56,29 @@ __all__ = [
     "DROP",
     "AdaptiveCorruptionAdversary",
     "Adversary",
+    "AgreementMonitor",
+    "BitBudgetMonitor",
     "CommunicationStats",
+    "ComposedAdversary",
     "Context",
+    "ConvexValidityMonitor",
     "CrashAdversary",
     "EquivocatingAdversary",
     "ExecutionResult",
+    "FaultInjector",
+    "FaultSpec",
+    "InvariantMonitor",
     "KingTargetingAdversary",
+    "LockstepMonitor",
     "Outgoing",
     "OutlierAdversary",
     "PassiveAdversary",
     "PrefixPoisonAdversary",
     "Proto",
     "RandomGarbageAdversary",
+    "RecordingAdversary",
+    "ReplayAdversary",
+    "RoundBudgetMonitor",
     "RoundView",
     "ScriptedAdversary",
     "SplitVoteAdversary",
@@ -54,7 +87,11 @@ __all__ = [
     "WitnessSuppressionAdversary",
     "bit_size",
     "broadcast_round",
+    "default_monitors",
+    "default_round_budget",
     "exchange",
+    "paper_bit_budget",
+    "paper_round_budget",
     "run_parallel",
     "run_protocol",
     "summarize_trace",

@@ -1,0 +1,342 @@
+"""Composable fault-injection plane for the synchronous simulator.
+
+Hand-writing a full :class:`~repro.sim.adversary.Adversary` subclass is
+the wrong granularity for chaos testing: most protocol-breaking
+scenarios are a *combination* of an existing strategy (equivocate,
+split votes, target the king) with link-level faults (drop, duplicate,
+garble, replay).  This module provides:
+
+* :class:`FaultSpec` -- a declarative, JSON-serialisable description of
+  link faults on corrupted links, seeded deterministically;
+* :class:`FaultInjector` -- the stateful applier of a spec (replay
+  buffers, next-round duplicates);
+* :class:`ComposedAdversary` -- stacks any number of existing
+  strategies and pipes their combined byzantine traffic through a
+  fault injector;
+* :class:`RecordingAdversary` -- wraps any adversary and records the
+  *actually delivered* byzantine messages plus the adaptive-corruption
+  schedule, yielding a replayable script;
+* :class:`ReplayAdversary` -- a :class:`ScriptedAdversary` built from
+  such a script: byte-identical re-execution of a recorded attack,
+  independent of the strategies that originally produced it.
+
+All faults act only on messages attributed to corrupted parties: the
+model's authenticated channels mean the adversary (and hence the fault
+plane, which is part of the adversary's power) can never touch honest
+traffic.  Honest-side omissions are modelled by *corrupting* the party.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any
+
+from .adversary import DROP, Adversary, RoundView, ScriptedAdversary
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "ComposedAdversary",
+    "RecordingAdversary",
+    "ReplayAdversary",
+]
+
+
+def _garble(payload: Any, rng: random.Random) -> Any:
+    """Structurally mutate a payload (stays within wire-sizable types)."""
+    if isinstance(payload, bool):
+        return not payload
+    if isinstance(payload, int):
+        choice = rng.randrange(3)
+        if choice == 0:
+            return payload ^ (1 << rng.randrange(max(1, payload.bit_length() + 1)))
+        if choice == 1:
+            return -payload - 1
+        return rng.getrandbits(16)
+    if isinstance(payload, bytes):
+        if not payload:
+            return bytes([rng.getrandbits(8)])
+        data = bytearray(payload)
+        data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+        return bytes(data)
+    if isinstance(payload, str):
+        return "garbled"
+    if isinstance(payload, tuple):
+        if not payload:
+            return (0,)
+        items = list(payload)
+        index = rng.randrange(len(items))
+        items[index] = _garble(items[index], rng)
+        return tuple(items)
+    if isinstance(payload, list):
+        return [_garble(item, rng) for item in payload]
+    if isinstance(payload, dict):
+        return {key: _garble(value, rng) for key, value in payload.items()}
+    if payload is None:
+        return rng.getrandbits(8)
+    # unknown structured object (BitString, witnesses, ...): replace with
+    # junk bytes of a similar footprint.
+    return bytes([rng.getrandbits(8) for _ in range(4)])
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative per-link fault probabilities on corrupted links.
+
+    Each field is the per-message probability of the fault firing;
+    ``links`` restricts the faulty links (``None`` = every corrupted
+    link).  Faults compose in a fixed order -- replay, garble, duplicate,
+    drop -- and draw from one deterministic stream seeded by ``seed``,
+    so a spec plus a corruption schedule is a reproducible experiment.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    garble: float = 0.0
+    replay: float = 0.0
+    links: frozenset[tuple[int, int]] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "garble", "replay"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate {rate} outside [0, 1]")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no fault can ever fire."""
+        return not (self.drop or self.duplicate or self.garble or self.replay)
+
+    def describe(self) -> str:
+        active = [
+            f"{name}={getattr(self, name)}"
+            for name in ("drop", "duplicate", "garble", "replay")
+            if getattr(self, name)
+        ]
+        scope = "all" if self.links is None else f"{len(self.links)} links"
+        return f"FaultSpec({', '.join(active) or 'noop'}, links={scope})"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by repro artifacts)."""
+        return {
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "garble": self.garble,
+            "replay": self.replay,
+            "links": (
+                None if self.links is None
+                else sorted([s, d] for s, d in self.links)
+            ),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        links = data.get("links")
+        return cls(
+            drop=data.get("drop", 0.0),
+            duplicate=data.get("duplicate", 0.0),
+            garble=data.get("garble", 0.0),
+            replay=data.get("replay", 0.0),
+            links=(
+                None if links is None
+                else frozenset((s, d) for s, d in links)
+            ),
+            seed=data.get("seed", 0),
+        )
+
+    def reseeded(self, seed: int) -> "FaultSpec":
+        """Copy of this spec with a different deterministic seed."""
+        return replace(self, seed=seed)
+
+
+class FaultInjector:
+    """Stateful applier of a :class:`FaultSpec` to byzantine traffic."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        #: per-link history of payloads, feeding the replay fault.
+        self._history: dict[tuple[int, int], list[Any]] = {}
+        #: messages duplicated into the *next* round (an inbox holds one
+        #: payload per sender, so a same-round duplicate is a no-op).
+        self._carryover: dict[tuple[int, int], Any] = {}
+
+    def _applies(self, link: tuple[int, int]) -> bool:
+        return self.spec.links is None or link in self.spec.links
+
+    def apply(
+        self, messages: dict[tuple[int, int], Any]
+    ) -> dict[tuple[int, int], Any]:
+        """Transform one round of byzantine messages in place-order."""
+        out: dict[tuple[int, int], Any] = {}
+        # deliver last round's duplicates first (a fresh payload on the
+        # same link overrides them, mirroring inbox semantics).
+        for link, payload in self._carryover.items():
+            out[link] = payload
+        self._carryover = {}
+
+        spec = self.spec
+        rng = self.rng
+        for link in sorted(messages):
+            payload = messages[link]
+            if not self._applies(link):
+                out[link] = payload
+                continue
+            history = self._history.setdefault(link, [])
+            if spec.replay and history and rng.random() < spec.replay:
+                payload = history[rng.randrange(len(history))]
+            if spec.garble and rng.random() < spec.garble:
+                payload = _garble(payload, rng)
+            if spec.duplicate and rng.random() < spec.duplicate:
+                self._carryover[link] = payload
+            history.append(payload)
+            if len(history) > 16:
+                del history[0]
+            if spec.drop and rng.random() < spec.drop:
+                continue
+            out[link] = payload
+        return out
+
+
+class ComposedAdversary(Adversary):
+    """Stacks existing strategies and overlays link faults.
+
+    * Corruptions: the union of each part's ``select_corruptions``,
+      clipped deterministically (sorted order) to the ``t`` budget, or
+      an explicit ``initial`` set.
+    * Messages: each part's ``deliver`` runs on the same round view in
+      order; later parts override earlier ones per ``(src, dst)`` link.
+      The merged traffic then passes through the fault injector.
+    * Adaptive corruptions: the union of the parts' ``adapt`` sets
+      (the network clips to budget and records any clipping).
+    """
+
+    def __init__(
+        self,
+        parts: list[Adversary],
+        faults: FaultSpec | None = None,
+        initial: set[int] | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if not parts:
+            raise ValueError("ComposedAdversary needs at least one part")
+        self.parts = list(parts)
+        self.faults = faults
+        self.initial = None if initial is None else set(initial)
+        self._injector = (
+            None if faults is None or faults.is_noop
+            else FaultInjector(faults)
+        )
+
+    def select_corruptions(self, n: int, t: int) -> set[int]:
+        if self.initial is not None:
+            return set(self.initial)
+        union: set[int] = set()
+        for part in self.parts:
+            union |= part.select_corruptions(n, t)
+        return set(sorted(union)[:t])
+
+    def adapt(self, view: RoundView) -> set[int]:
+        requested: set[int] = set()
+        for part in self.parts:
+            requested |= part.adapt(view)
+        return requested
+
+    def deliver(self, view: RoundView) -> dict[tuple[int, int], Any]:
+        merged: dict[tuple[int, int], Any] = {}
+        for part in self.parts:
+            merged.update(part.deliver(view))
+        if self._injector is not None:
+            merged = self._injector.apply(merged)
+        return merged
+
+    def describe(self) -> str:
+        inner = "+".join(part.describe() for part in self.parts)
+        if self.faults is not None and not self.faults.is_noop:
+            inner += f" % {self.faults.describe()}"
+        return f"Composed[{inner}]"
+
+
+class RecordingAdversary(Adversary):
+    """Wraps an adversary and records its observable behaviour.
+
+    After a run, ``script`` holds every delivered byzantine message
+    keyed by ``(round, src, dst)``, ``adapt_schedule`` the adaptive
+    corruption requests, and ``initial_corruptions`` the starting set --
+    together enough to rebuild the execution exactly with
+    :class:`ReplayAdversary`, with no reference to the original
+    strategies or fault specs.
+    """
+
+    def __init__(self, inner: Adversary) -> None:
+        super().__init__(getattr(inner, "seed", 0))
+        self.inner = inner
+        self.script: dict[tuple[int, int, int], Any] = {}
+        self.adapt_schedule: list[tuple[int, int]] = []
+        self.initial_corruptions: set[int] = set()
+
+    def select_corruptions(self, n: int, t: int) -> set[int]:
+        self.initial_corruptions = set(self.inner.select_corruptions(n, t))
+        return set(self.initial_corruptions)
+
+    def adapt(self, view: RoundView) -> set[int]:
+        requested = self.inner.adapt(view)
+        for party in sorted(requested):
+            entry = (view.round_index, party)
+            if entry not in self.adapt_schedule:
+                self.adapt_schedule.append(entry)
+        return requested
+
+    def deliver(self, view: RoundView) -> dict[tuple[int, int], Any]:
+        messages = self.inner.deliver(view)
+        for (src, dst), payload in messages.items():
+            self.script[(view.round_index, src, dst)] = payload
+        return dict(messages)
+
+    def describe(self) -> str:
+        return f"Recording[{self.inner.describe()}]"
+
+
+class ReplayAdversary(ScriptedAdversary):
+    """Replays a recorded byzantine script byte-for-byte.
+
+    The handler looks up ``(round, src, dst)`` in the script and stays
+    silent on misses, so deleting entries from the script (as the
+    shrinker does) weakens the adversary monotonically.
+    """
+
+    def __init__(
+        self,
+        script: dict[tuple[int, int, int], Any],
+        initial_corruptions: set[int],
+        adapt_schedule: list[tuple[int, int]] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.script = dict(script)
+        self.initial_corruptions = set(initial_corruptions)
+        self.adapt_schedule = list(adapt_schedule or [])
+        super().__init__(self._lookup, seed=seed)
+
+    def _lookup(self, view: RoundView, src: int, dst: int, spec: Any) -> Any:
+        return self.script.get((view.round_index, src, dst), DROP)
+
+    def select_corruptions(self, n: int, t: int) -> set[int]:
+        return set(self.initial_corruptions)
+
+    def adapt(self, view: RoundView) -> set[int]:
+        return {
+            party
+            for round_index, party in self.adapt_schedule
+            if round_index == view.round_index
+            and party not in view.corrupted
+        }
+
+    def describe(self) -> str:
+        return (
+            f"ReplayAdversary({len(self.script)} messages, "
+            f"{len(self.adapt_schedule)} adaptive)"
+        )

@@ -1,0 +1,757 @@
+"""Chaos driver: randomized fault campaigns with shrinking repro artifacts.
+
+The fuzzer closes the loop the ROADMAP asks for ("handles as many
+scenarios as you can imagine"): instead of a fixed battery of ten
+adversaries, it samples ``(protocol, n, t, ell, adversary composition,
+fault spec, seed)`` configurations, runs each under the online invariant
+monitors of :mod:`repro.sim.invariants`, and on failure
+
+1. **shrinks** the failing execution -- delta-debugging the recorded
+   byzantine message script and the adaptive-corruption schedule down
+   to a minimal set that still triggers the same violation -- and
+2. dumps a JSON **repro artifact** that replays byte-identically via
+   :class:`~repro.sim.faults.ReplayAdversary`, independent of the
+   strategies that originally produced the failure.
+
+Surface: ``python -m repro fuzz`` / ``python -m repro replay``, or
+programmatically::
+
+    from repro.sim.fuzz import fuzz, replay_artifact
+
+    report = fuzz(runs=50, seed=0)
+    assert not report.failures
+
+Every step is deterministic in the top-level seed: the same seed yields
+the same campaign, the same failures, and the same shrunk artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.bitstrings import BitString
+from ..errors import ProtocolViolation, SimulationError
+from .adversary import (
+    Adversary,
+    CrashAdversary,
+    EquivocatingAdversary,
+    KingTargetingAdversary,
+    OutlierAdversary,
+    PassiveAdversary,
+    PrefixPoisonAdversary,
+    RandomGarbageAdversary,
+    SplitVoteAdversary,
+    WitnessSuppressionAdversary,
+)
+from .faults import ComposedAdversary, FaultSpec, RecordingAdversary, \
+    ReplayAdversary
+from .invariants import (
+    AgreementMonitor,
+    BitBudgetMonitor,
+    ConvexValidityMonitor,
+    InvariantMonitor,
+    LockstepMonitor,
+    RoundBudgetMonitor,
+    paper_bit_budget,
+    paper_round_budget,
+)
+from .network import ProtocolFactory, SynchronousNetwork
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ADVERSARY_CATALOG",
+    "ProtocolSpec",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "standard_registry",
+    "sample_case",
+    "run_case",
+    "shrink_failure",
+    "failure_to_artifact",
+    "save_artifact",
+    "load_artifact",
+    "replay_artifact",
+    "fuzz",
+    "encode_payload",
+    "decode_payload",
+]
+
+ARTIFACT_FORMAT = "repro-fuzz/1"
+
+
+# ---------------------------------------------------------------------------
+# Payload <-> JSON codec (repro artifacts must round-trip protocol payloads)
+# ---------------------------------------------------------------------------
+
+
+def encode_payload(payload: Any) -> Any:
+    """Encode one wire payload as a JSON-safe tagged value."""
+    if payload is None:
+        return {"t": "none"}
+    if isinstance(payload, bool):
+        return {"t": "bool", "v": payload}
+    if isinstance(payload, int):
+        return {"t": "int", "v": str(payload)}
+    if isinstance(payload, (bytes, bytearray)):
+        return {"t": "bytes", "v": bytes(payload).hex()}
+    if isinstance(payload, str):
+        return {"t": "str", "v": payload}
+    if isinstance(payload, BitString):
+        return {"t": "bits", "v": str(payload.value), "len": payload.length}
+    if isinstance(payload, tuple):
+        return {"t": "tuple", "v": [encode_payload(x) for x in payload]}
+    if isinstance(payload, list):
+        return {"t": "list", "v": [encode_payload(x) for x in payload]}
+    if isinstance(payload, frozenset):
+        encoded = [encode_payload(x) for x in payload]
+        return {"t": "fset", "v": sorted(encoded, key=json.dumps)}
+    if isinstance(payload, dict):
+        return {
+            "t": "dict",
+            "v": [
+                [encode_payload(k), encode_payload(v)]
+                for k, v in payload.items()
+            ],
+        }
+    raise ValueError(f"cannot encode payload of type {type(payload)!r}")
+
+
+def decode_payload(data: Any) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    tag = data["t"]
+    if tag == "none":
+        return None
+    if tag == "bool":
+        return bool(data["v"])
+    if tag == "int":
+        return int(data["v"])
+    if tag == "bytes":
+        return bytes.fromhex(data["v"])
+    if tag == "str":
+        return data["v"]
+    if tag == "bits":
+        return BitString(int(data["v"]), data["len"])
+    if tag == "tuple":
+        return tuple(decode_payload(x) for x in data["v"])
+    if tag == "list":
+        return [decode_payload(x) for x in data["v"]]
+    if tag == "fset":
+        return frozenset(decode_payload(x) for x in data["v"])
+    if tag == "dict":
+        return {decode_payload(k): decode_payload(v) for k, v in data["v"]}
+    raise ValueError(f"unknown payload tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Protocol registry: factory + theory-derived budget envelopes per protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One fuzzable protocol: how to build it and what it may cost."""
+
+    name: str
+    #: ``(ell) -> (ctx, v) -> generator``; ``ell`` is the nominal input
+    #: bit-length of the campaign case.
+    build: Callable[[int], ProtocolFactory]
+    #: honest-bit envelope, derived from the protocol's complexity bound.
+    bit_budget: Callable[[int, int, int, int], int]
+    #: round envelope, derived from the protocol's round complexity.
+    round_budget: Callable[[int, int, int], int]
+    #: inputs are signed integers (PI_Z) or naturals (everything else).
+    signed: bool = False
+    #: constraint on ell (e.g. blocks needs a multiple of n^2).
+    ell_for: Callable[[int, int], int] = lambda n, ell: ell
+
+
+def _baseline_bit_budget(n: int, t: int, ell: int, kappa: int) -> int:
+    # broadcast baselines cost up to O(l n^3): stay loose but bounded.
+    return 96 * (ell + kappa) * n * n * n * (t + 2) + (1 << 18)
+
+
+def _high_cost_bit_budget(n: int, t: int, ell: int, kappa: int) -> int:
+    # HighCostCA sends whole values n^2 times per phase, t + 1 phases.
+    return 96 * (ell + kappa) * n * n * (t + 2) + (1 << 18)
+
+
+def _high_cost_round_budget(n: int, t: int, ell: int) -> int:
+    return 8 * (2 + 4 * (t + 1)) + 32
+
+
+def standard_registry() -> dict[str, ProtocolSpec]:
+    """The top-level protocol set the chaos campaigns cover."""
+    from ..baselines import broadcast_ca, naive_broadcast_ca
+    from ..core.fixed_length import fixed_length_ca, fixed_length_ca_blocks
+    from ..core.high_cost_ca import high_cost_ca
+    from ..core.protocol_n import protocol_n
+    from ..core.protocol_z import protocol_z
+
+    def blocks_ell(n: int, ell: int) -> int:
+        # FixedLengthCABlocks needs ell to be a positive multiple of n^2.
+        n_sq = n * n
+        return max(n_sq, (ell // n_sq) * n_sq or n_sq)
+
+    return {
+        "pi_z": ProtocolSpec(
+            name="pi_z",
+            build=lambda ell: (lambda ctx, v: protocol_z(ctx, v)),
+            bit_budget=paper_bit_budget,
+            round_budget=paper_round_budget,
+            signed=True,
+        ),
+        "pi_n": ProtocolSpec(
+            name="pi_n",
+            build=lambda ell: (lambda ctx, v: protocol_n(ctx, v)),
+            bit_budget=paper_bit_budget,
+            round_budget=paper_round_budget,
+        ),
+        "fixed_length_ca": ProtocolSpec(
+            name="fixed_length_ca",
+            build=lambda ell: (
+                lambda ctx, v: fixed_length_ca(ctx, v, ell)
+            ),
+            bit_budget=paper_bit_budget,
+            round_budget=paper_round_budget,
+        ),
+        "fixed_length_ca_blocks": ProtocolSpec(
+            name="fixed_length_ca_blocks",
+            build=lambda ell: (
+                lambda ctx, v: fixed_length_ca_blocks(ctx, v, ell)
+            ),
+            bit_budget=paper_bit_budget,
+            round_budget=paper_round_budget,
+            ell_for=blocks_ell,
+        ),
+        "high_cost_ca": ProtocolSpec(
+            name="high_cost_ca",
+            build=lambda ell: (lambda ctx, v: high_cost_ca(ctx, v)),
+            bit_budget=_high_cost_bit_budget,
+            round_budget=_high_cost_round_budget,
+        ),
+        "broadcast_ca": ProtocolSpec(
+            name="broadcast_ca",
+            build=lambda ell: (lambda ctx, v: broadcast_ca(ctx, v)),
+            bit_budget=_baseline_bit_budget,
+            round_budget=paper_round_budget,
+        ),
+        "naive_broadcast_ca": ProtocolSpec(
+            name="naive_broadcast_ca",
+            build=lambda ell: (lambda ctx, v: naive_broadcast_ca(ctx, v)),
+            bit_budget=_baseline_bit_budget,
+            round_budget=paper_round_budget,
+        ),
+    }
+
+
+#: name -> builder(seed) for the strategies campaigns compose.
+ADVERSARY_CATALOG: dict[str, Callable[[int], Adversary]] = {
+    "passive": lambda seed: PassiveAdversary(seed),
+    "crash0": lambda seed: CrashAdversary(0, seed),
+    "crash3": lambda seed: CrashAdversary(3, seed),
+    "garbage": lambda seed: RandomGarbageAdversary(seed),
+    "equivocate": lambda seed: EquivocatingAdversary(seed),
+    "outlier": lambda seed: OutlierAdversary(seed=seed),
+    "splitvote": lambda seed: SplitVoteAdversary(alt_value=1, seed=seed),
+    "king": lambda seed: KingTargetingAdversary(seed=seed),
+    "prefixpoison": lambda seed: PrefixPoisonAdversary(seed=seed),
+    "witness": lambda seed: WitnessSuppressionAdversary(seed=seed),
+}
+
+
+# ---------------------------------------------------------------------------
+# Campaign cases
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One sampled chaos configuration (fully deterministic in itself)."""
+
+    protocol: str
+    n: int
+    t: int
+    ell: int
+    kappa: int
+    spread: str
+    adversaries: tuple[str, ...]
+    faults: FaultSpec
+    seed: int
+
+    def describe(self) -> str:
+        adv = "+".join(self.adversaries)
+        return (
+            f"{self.protocol}(n={self.n}, t={self.t}, ell={self.ell}, "
+            f"{self.spread}) vs {adv} % {self.faults.describe()} "
+            f"seed={self.seed}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "t": self.t,
+            "ell": self.ell,
+            "kappa": self.kappa,
+            "spread": self.spread,
+            "adversaries": list(self.adversaries),
+            "faults": self.faults.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        return cls(
+            protocol=data["protocol"],
+            n=data["n"],
+            t=data["t"],
+            ell=data["ell"],
+            kappa=data["kappa"],
+            spread=data["spread"],
+            adversaries=tuple(data["adversaries"]),
+            faults=FaultSpec.from_dict(data["faults"]),
+            seed=data["seed"],
+        )
+
+
+_SPREADS = ("spread", "clustered", "identical")
+_FAULT_RATES = (0.0, 0.05, 0.2, 0.5)
+
+
+def sample_case(
+    rng: random.Random, registry: dict[str, ProtocolSpec]
+) -> FuzzCase:
+    """Draw one chaos configuration from the campaign distribution."""
+    name = rng.choice(sorted(registry))
+    spec = registry[name]
+    n = rng.choice((4, 5, 6, 7))
+    t = rng.randint(1, max(1, (n - 1) // 3))
+    ell = spec.ell_for(n, rng.choice((8, 16, 32, 64, 128)))
+    count = rng.randint(1, 3)
+    adversaries = tuple(
+        rng.choice(sorted(ADVERSARY_CATALOG)) for _ in range(count)
+    )
+    faults = FaultSpec(
+        drop=rng.choice(_FAULT_RATES),
+        duplicate=rng.choice(_FAULT_RATES),
+        garble=rng.choice(_FAULT_RATES),
+        replay=rng.choice(_FAULT_RATES),
+        seed=rng.getrandbits(32),
+    )
+    return FuzzCase(
+        protocol=name,
+        n=n,
+        t=t,
+        ell=ell,
+        kappa=64,
+        spread=rng.choice(_SPREADS),
+        adversaries=adversaries,
+        faults=faults,
+        seed=rng.getrandbits(32),
+    )
+
+
+def case_inputs(case: FuzzCase) -> list[int]:
+    """Deterministic per-party inputs for a case (honest workload)."""
+    rng = random.Random(
+        repr(("inputs", case.seed, case.n, case.ell, case.spread))
+    )
+    top = 1 << case.ell
+    if case.spread == "identical":
+        values = [rng.randrange(top)] * case.n
+    elif case.spread == "clustered":
+        cluster_bits = max(1, min(8, case.ell - 1))
+        base = rng.randrange(max(1, top >> cluster_bits)) << cluster_bits
+        values = [
+            base + rng.randrange(1 << cluster_bits) for _ in range(case.n)
+        ]
+    else:
+        values = [rng.randrange(top) for _ in range(case.n)]
+    return values
+
+
+def _build_inputs(
+    case: FuzzCase, spec: ProtocolSpec
+) -> list[int]:
+    values = case_inputs(case)
+    if spec.signed:
+        rng = random.Random(repr(("signs", case.seed)))
+        sign = -1 if rng.random() < 0.5 else 1
+        # one common sign keeps the clustered/identical regimes intact
+        # while still exercising PI_Z's sign agreement.
+        values = [sign * v for v in values]
+    return values
+
+
+def case_monitors(case: FuzzCase, spec: ProtocolSpec) -> list[InvariantMonitor]:
+    """The monitor stack for one case, with per-protocol envelopes."""
+    return [
+        LockstepMonitor(),
+        AgreementMonitor(),
+        ConvexValidityMonitor(),
+        BitBudgetMonitor(
+            total=spec.bit_budget(case.n, case.t, case.ell, case.kappa)
+        ),
+        RoundBudgetMonitor(
+            limit=spec.round_budget(case.n, case.t, case.ell)
+        ),
+    ]
+
+
+def _build_adversary(case: FuzzCase) -> RecordingAdversary:
+    parts = [
+        ADVERSARY_CATALOG[name](case.seed + index)
+        for index, name in enumerate(case.adversaries)
+    ]
+    composed = ComposedAdversary(
+        parts, faults=case.faults, seed=case.seed
+    )
+    return RecordingAdversary(composed)
+
+
+@dataclass
+class FuzzFailure:
+    """A monitored invariant violation plus everything needed to replay."""
+
+    case: FuzzCase
+    kind: str  # monitor name, or "SimulationError"
+    message: str
+    inputs: list[int]
+    initial_corruptions: set[int]
+    script: dict[tuple[int, int, int], Any]
+    adapt_schedule: list[tuple[int, int]]
+    shrunk: bool = False
+    shrink_runs: int = 0
+    original_script_size: int = 0
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    runs: int
+    seed: int
+    cases: list[FuzzCase] = field(default_factory=list)
+    failures: list[FuzzFailure] = field(default_factory=list)
+    artifacts: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz campaign: {self.runs} runs, seed {self.seed}, "
+            f"{len(self.failures)} failure(s)"
+        ]
+        for index, failure in enumerate(self.failures):
+            path = (
+                self.artifacts[index] if index < len(self.artifacts) else None
+            )
+            lines.append(f"  [{failure.kind}] {failure.case.describe()}")
+            lines.append(f"    {failure.message}")
+            if failure.shrunk:
+                lines.append(
+                    f"    shrunk script: {failure.original_script_size} -> "
+                    f"{len(failure.script)} messages "
+                    f"({failure.shrink_runs} replays)"
+                )
+            if path:
+                lines.append(f"    artifact: {path}")
+        return "\n".join(lines)
+
+
+def _execute(
+    case: FuzzCase,
+    spec: ProtocolSpec,
+    inputs: list[int],
+    adversary: Adversary,
+) -> None:
+    """Run one monitored execution; raises on any invariant violation."""
+    network = SynchronousNetwork(
+        spec.build(case.ell),
+        inputs,
+        n=case.n,
+        t=case.t,
+        kappa=case.kappa,
+        adversary=adversary,
+        # leave headroom above the monitor so RoundBudgetMonitor fires
+        # with a record attached before the hard simulator cap.
+        max_rounds=2 * spec.round_budget(case.n, case.t, case.ell) + 64,
+        trace=True,
+        monitors=case_monitors(case, spec),
+    )
+    network.run()
+
+
+def run_case(
+    case: FuzzCase, registry: dict[str, ProtocolSpec] | None = None
+) -> FuzzFailure | None:
+    """Run one case under monitors; return a failure or None if clean."""
+    registry = registry or standard_registry()
+    spec = registry[case.protocol]
+    inputs = _build_inputs(case, spec)
+    adversary = _build_adversary(case)
+    try:
+        _execute(case, spec, inputs, adversary)
+    except ProtocolViolation as violation:
+        return FuzzFailure(
+            case=case,
+            kind=violation.monitor or "ProtocolViolation",
+            message=str(violation),
+            inputs=inputs,
+            initial_corruptions=set(adversary.initial_corruptions),
+            script=dict(adversary.script),
+            adapt_schedule=list(adversary.adapt_schedule),
+            original_script_size=len(adversary.script),
+        )
+    except SimulationError as error:
+        return FuzzFailure(
+            case=case,
+            kind="SimulationError",
+            message=str(error),
+            inputs=inputs,
+            initial_corruptions=set(adversary.initial_corruptions),
+            script=dict(adversary.script),
+            adapt_schedule=list(adversary.adapt_schedule),
+            original_script_size=len(adversary.script),
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking (delta debugging over the recorded byzantine script)
+# ---------------------------------------------------------------------------
+
+
+def _replays_same(
+    failure: FuzzFailure,
+    spec: ProtocolSpec,
+    script_keys: list[tuple[int, int, int]],
+    schedule: list[tuple[int, int]],
+) -> bool:
+    """Does the reduced script still trigger the same violation kind?"""
+    adversary = ReplayAdversary(
+        {key: failure.script[key] for key in script_keys},
+        failure.initial_corruptions,
+        schedule,
+    )
+    try:
+        _execute(failure.case, spec, failure.inputs, adversary)
+    except ProtocolViolation as violation:
+        return (violation.monitor or "ProtocolViolation") == failure.kind
+    except SimulationError:
+        return failure.kind == "SimulationError"
+    return False
+
+
+def _ddmin(items: list, still_fails: Callable[[list], bool],
+           budget: list[int]) -> list:
+    """Classic ddmin: minimal sublist (1-minimal up to budget) that fails."""
+    granularity = 2
+    while len(items) >= 2 and budget[0] > 0:
+        chunk = max(1, math.ceil(len(items) / granularity))
+        reduced = False
+        for start in range(0, len(items), chunk):
+            if budget[0] <= 0:
+                break
+            candidate = items[:start] + items[start + chunk:]
+            budget[0] -= 1
+            if still_fails(candidate):
+                items = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink_failure(
+    failure: FuzzFailure,
+    registry: dict[str, ProtocolSpec] | None = None,
+    max_runs: int = 400,
+) -> FuzzFailure:
+    """Delta-debug the failing script + corruption schedule to a minimum.
+
+    Returns a new :class:`FuzzFailure` whose script/schedule are
+    1-minimal (up to the replay budget): removing any single remaining
+    entry no longer reproduces the violation.
+    """
+    registry = registry or standard_registry()
+    spec = registry[failure.case.protocol]
+    budget = [max_runs]
+
+    schedule = list(failure.adapt_schedule)
+    keys = sorted(failure.script)
+    keys = _ddmin(
+        keys,
+        lambda candidate: _replays_same(failure, spec, candidate, schedule),
+        budget,
+    )
+    schedule = _ddmin(
+        schedule,
+        lambda candidate: _replays_same(failure, spec, keys, candidate),
+        budget,
+    )
+    return FuzzFailure(
+        case=failure.case,
+        kind=failure.kind,
+        message=failure.message,
+        inputs=failure.inputs,
+        initial_corruptions=failure.initial_corruptions,
+        script={key: failure.script[key] for key in keys},
+        adapt_schedule=schedule,
+        shrunk=True,
+        shrink_runs=max_runs - budget[0],
+        original_script_size=failure.original_script_size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Repro artifacts
+# ---------------------------------------------------------------------------
+
+
+def failure_to_artifact(failure: FuzzFailure) -> dict:
+    """Serialise a failure into the JSON repro-artifact structure."""
+    return {
+        "format": ARTIFACT_FORMAT,
+        "case": failure.case.to_dict(),
+        "violation": {"kind": failure.kind, "message": failure.message},
+        "inputs": [str(v) for v in failure.inputs],
+        "initial_corruptions": sorted(failure.initial_corruptions),
+        "adapt_schedule": [[r, p] for r, p in failure.adapt_schedule],
+        "script": [
+            [r, s, d, encode_payload(failure.script[(r, s, d)])]
+            for r, s, d in sorted(failure.script)
+        ],
+        "shrunk": failure.shrunk,
+        "original_script_size": failure.original_script_size,
+    }
+
+
+def save_artifact(failure: FuzzFailure, path: str) -> str:
+    """Write a failure's repro artifact to ``path``; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(failure_to_artifact(failure), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> dict:
+    """Load and validate a repro artifact."""
+    with open(path) as handle:
+        artifact = json.load(handle)
+    if artifact.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"unsupported artifact format {artifact.get('format')!r}"
+        )
+    return artifact
+
+
+@dataclass
+class ReplayOutcome:
+    """What happened when an artifact was replayed."""
+
+    kind: str | None  # None when the replay ran clean
+    message: str | None
+
+    @property
+    def violated(self) -> bool:
+        return self.kind is not None
+
+    def matches(self, artifact: dict) -> bool:
+        """Did the replay reproduce the artifact's recorded violation?"""
+        return self.kind == artifact["violation"]["kind"]
+
+
+def replay_artifact(
+    artifact: dict | str,
+    registry: dict[str, ProtocolSpec] | None = None,
+) -> ReplayOutcome:
+    """Re-execute an artifact's script under the same monitors."""
+    if isinstance(artifact, str):
+        artifact = load_artifact(artifact)
+    registry = registry or standard_registry()
+    case = FuzzCase.from_dict(artifact["case"])
+    spec = registry[case.protocol]
+    inputs = [int(v) for v in artifact["inputs"]]
+    adversary = ReplayAdversary(
+        {
+            (r, s, d): decode_payload(payload)
+            for r, s, d, payload in artifact["script"]
+        },
+        set(artifact["initial_corruptions"]),
+        [(r, p) for r, p in artifact["adapt_schedule"]],
+    )
+    try:
+        _execute(case, spec, inputs, adversary)
+    except ProtocolViolation as violation:
+        return ReplayOutcome(
+            kind=violation.monitor or "ProtocolViolation",
+            message=str(violation),
+        )
+    except SimulationError as error:
+        return ReplayOutcome(kind="SimulationError", message=str(error))
+    return ReplayOutcome(kind=None, message=None)
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
+
+
+def fuzz(
+    runs: int = 50,
+    seed: int = 0,
+    registry: dict[str, ProtocolSpec] | None = None,
+    protocols: list[str] | None = None,
+    artifact_dir: str | None = None,
+    shrink: bool = True,
+    max_shrink_runs: int = 400,
+    progress: Callable[[int, FuzzCase], None] | None = None,
+) -> FuzzReport:
+    """Run a chaos campaign of ``runs`` sampled configurations.
+
+    Every run executes one sampled case under the full monitor stack;
+    failures are shrunk (unless ``shrink=False``) and, when
+    ``artifact_dir`` is given, archived as replayable JSON artifacts.
+    """
+    registry = registry or standard_registry()
+    if protocols:
+        unknown = set(protocols) - set(registry)
+        if unknown:
+            raise ValueError(f"unknown protocols: {sorted(unknown)}")
+        registry = {name: registry[name] for name in protocols}
+    rng = random.Random(repr(("fuzz", seed)))
+    report = FuzzReport(runs=runs, seed=seed)
+    for index in range(runs):
+        case = sample_case(rng, registry)
+        if progress is not None:
+            progress(index, case)
+        report.cases.append(case)
+        failure = run_case(case, registry)
+        if failure is None:
+            continue
+        if shrink:
+            failure = shrink_failure(
+                failure, registry, max_runs=max_shrink_runs
+            )
+        report.failures.append(failure)
+        if artifact_dir is not None:
+            path = os.path.join(
+                artifact_dir, f"repro-{seed}-{index:04d}.json"
+            )
+            report.artifacts.append(save_artifact(failure, path))
+    return report

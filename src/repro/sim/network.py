@@ -9,31 +9,61 @@ lockstep rounds:
    yields its outgoing messages,
 2. the (rushing) adversary observes all honest traffic and chooses the
    corrupted parties' messages,
-3. messages are delivered; honest-sent bits are accounted.
+3. messages are delivered; honest-sent bits are accounted,
+4. online :class:`~repro.sim.invariants.InvariantMonitor`s (if attached)
+   observe the round record and may raise
+   :class:`~repro.errors.ProtocolViolation`.
 
 Authenticated channels mean the receiver always learns the true sender
 identity -- the simulator enforces this by construction (the adversary can
 only emit messages attributed to corrupted parties).
+
+Round budgets: when ``max_rounds`` is not given the simulator derives a
+budget from the paper's round complexity (``O(n log n)`` with a
+``3(t+1)``-round Phase-King ``PI_BA``) via :func:`default_round_budget`
+instead of a flat constant, so non-terminating executions are diagnosed
+in seconds; the resulting :class:`~repro.errors.SimulationError` carries
+the partial trace, stats, and any outputs produced so far.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError, ProtocolViolation, SimulationError
 from .adversary import Adversary, PassiveAdversary, RoundView
+from .invariants import InvariantMonitor
 from .metrics import CommunicationStats
 from .party import Context, Outgoing, Proto
 from .sizing import bit_size
 from .trace import RoundRecord
 
-__all__ = ["ExecutionResult", "SynchronousNetwork", "ProtocolFactory"]
+__all__ = [
+    "ExecutionResult",
+    "SynchronousNetwork",
+    "ProtocolFactory",
+    "default_round_budget",
+]
 
 #: Builds one party's protocol generator from its context and input.
 ProtocolFactory = Callable[[Context, Any], Proto[Any]]
 
-_DEFAULT_MAX_ROUNDS = 100_000
+
+def default_round_budget(n: int, t: int) -> int:
+    """Round budget derived from the theoretical round complexities.
+
+    The CA stack terminates in ``O(n log n)`` rounds (Corollary 2) and
+    every other protocol in this repository (Phase-King: ``3(t+1)``,
+    ``HighCostCA``: ``2 + 4(t+1)``, Dolev-Strong: ``t+1``, synchronous
+    AA: ``O(log(range/eps))``) is far below the envelope used here --
+    a generous multiple of ``(t + 1) * log^2 n`` with a flat floor that
+    also covers range-dependent loops such as Approximate Agreement.
+    """
+    log_n = max(1, math.ceil(math.log2(max(2, n))))
+    return max(10_000, 512 * (t + 1) * (log_n * log_n + 8))
 
 
 @dataclass
@@ -47,6 +77,9 @@ class ExecutionResult:
     stats: CommunicationStats
     channel_trace: list[str] = field(default_factory=list)
     trace: list[RoundRecord] | None = None
+    #: ``(round_index, party)`` adaptive corruptions requested by the
+    #: adversary but clipped by the ``t`` budget (over-powered config).
+    clipped_corruptions: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def honest_parties(self) -> list[int]:
@@ -63,6 +96,33 @@ class ExecutionResult:
         if any(value != first for value in iterator):
             raise SimulationError(f"honest parties disagree: {values!r}")
         return first
+
+    def assert_convex_valid(
+        self, honest_inputs: dict[int, Any] | Sequence[Any]
+    ) -> Any:
+        """Assert Agreement + Convex Validity; return the common output.
+
+        ``honest_inputs`` may be the full per-party input assignment
+        (list indexed by party id, or dict) -- corrupted parties'
+        entries are ignored -- or an already-filtered collection of
+        honest values (when no index matches a party id in
+        ``corrupted``, all values count).
+        """
+        value = self.common_output()
+        if isinstance(honest_inputs, dict):
+            items = honest_inputs.items()
+        else:
+            items = enumerate(honest_inputs)
+        honest = [v for p, v in items if p not in self.corrupted]
+        if not honest:
+            raise SimulationError("no honest inputs to validate against")
+        low, high = min(honest), max(honest)
+        if not low <= value <= high:
+            raise ProtocolViolation(
+                f"output {value} outside honest hull [{low}, {high}]",
+                monitor="assert_convex_valid",
+            )
+        return value
 
 
 @dataclass
@@ -85,8 +145,9 @@ class SynchronousNetwork:
         t: int,
         kappa: int = 128,
         adversary: Adversary | None = None,
-        max_rounds: int = _DEFAULT_MAX_ROUNDS,
+        max_rounds: int | None = None,
         trace: bool = False,
+        monitors: Sequence[InvariantMonitor] = (),
     ) -> None:
         if isinstance(inputs, list):
             inputs = dict(enumerate(inputs))
@@ -100,7 +161,10 @@ class SynchronousNetwork:
         self.inputs = dict(inputs)
         self.adversary = adversary or PassiveAdversary()
         self.protocol_factory = protocol_factory
-        self.max_rounds = max_rounds
+        self.max_rounds = (
+            default_round_budget(n, t) if max_rounds is None else max_rounds
+        )
+        self.monitors = list(monitors)
 
         self.corrupted: set[int] = set(
             self.adversary.select_corruptions(n, t)
@@ -115,6 +179,7 @@ class SynchronousNetwork:
         self.stats = CommunicationStats()
         self.channel_trace: list[str] = []
         self.trace: list[RoundRecord] | None = [] if trace else None
+        self.clipped_corruptions: list[tuple[int, int]] = []
         self._states: dict[int, _PartyState] = {}
         for party in range(n):
             ctx = Context(party_id=party, n=n, t=t, kappa=kappa)
@@ -124,20 +189,26 @@ class SynchronousNetwork:
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         """Execute until every honest party has terminated."""
+        for monitor in self.monitors:
+            monitor.on_start(self)
         for round_index in range(self.max_rounds):
             if self._all_honest_finished():
                 break
             self._run_round(round_index)
         else:
             raise SimulationError(
-                f"protocol did not terminate within {self.max_rounds} rounds"
+                f"protocol did not terminate within {self.max_rounds} "
+                "rounds",
+                trace=self.trace,
+                stats=self.stats,
+                outputs=self._partial_outputs(),
             )
         outputs = {
             party: state.output
             for party, state in self._states.items()
             if state.finished and party not in self.corrupted
         }
-        return ExecutionResult(
+        result = ExecutionResult(
             n=self.n,
             t=self.t,
             outputs=outputs,
@@ -145,9 +216,29 @@ class SynchronousNetwork:
             stats=self.stats,
             channel_trace=self.channel_trace,
             trace=self.trace,
+            clipped_corruptions=list(self.clipped_corruptions),
         )
+        for monitor in self.monitors:
+            self._monitored(monitor.on_finish, result, self)
+        return result
 
     # ------------------------------------------------------------------
+    def _partial_outputs(self) -> dict[int, Any]:
+        return {
+            party: state.output
+            for party, state in self._states.items()
+            if state.finished and party not in self.corrupted
+        }
+
+    def _monitored(self, hook, *args) -> None:
+        """Run a monitor hook, attaching the partial trace on violation."""
+        try:
+            hook(*args)
+        except ProtocolViolation as violation:
+            if violation.trace is None:
+                violation.trace = self.trace
+            raise
+
     def _all_honest_finished(self) -> bool:
         return all(
             state.finished
@@ -179,7 +270,10 @@ class SynchronousNetwork:
         if not isinstance(outgoing, Outgoing):
             raise SimulationError(
                 f"party {party} yielded {type(outgoing).__name__}, "
-                "expected Outgoing"
+                "expected Outgoing",
+                trace=self.trace,
+                stats=self.stats,
+                outputs=self._partial_outputs(),
             )
         return outgoing
 
@@ -202,9 +296,28 @@ class SynchronousNetwork:
             if party not in self.corrupted
         }
         if len(honest_channels) > 1:
+            record = RoundRecord(
+                round_index=round_index,
+                channel="",
+                honest_messages=0,
+                honest_bits=0,
+                byzantine_messages=0,
+                corrupted=frozenset(self.corrupted),
+                finished_parties=frozenset(
+                    p for p, s in self._states.items() if s.finished
+                ),
+                honest_channels=tuple(sorted(honest_channels)),
+            )
+            if self.trace is not None:
+                self.trace.append(record)
+            for monitor in self.monitors:
+                self._monitored(monitor.on_round, record, self)
             raise SimulationError(
                 f"honest parties out of lockstep in round {round_index}: "
-                f"{sorted(honest_channels)}"
+                f"{sorted(honest_channels)}",
+                trace=self.trace,
+                stats=self.stats,
+                outputs=self._partial_outputs(),
             )
         if honest_channels:
             self.channel_trace.append(next(iter(honest_channels)))
@@ -258,27 +371,51 @@ class SynchronousNetwork:
         for party, state in self._states.items():
             state.inbox = inboxes[party]
         self.stats.record_round()
-        if self.trace is not None:
-            self.trace.append(
-                RoundRecord(
-                    round_index=round_index,
-                    channel=(
-                        next(iter(honest_channels)) if honest_channels else ""
-                    ),
-                    honest_messages=round_messages,
-                    honest_bits=round_bits,
-                    byzantine_messages=byz_count,
-                    corrupted=frozenset(self.corrupted),
-                    finished_parties=frozenset(
-                        p for p, s in self._states.items() if s.finished
-                    ),
-                )
+
+        # 4. Adaptive corruptions (effective next round).  An over-budget
+        # ``adapt()`` is clipped deterministically; the clipped parties
+        # are recorded and warned about rather than silently dropped.
+        requested = {
+            party
+            for party in self.adversary.adapt(view)
+            if 0 <= party < self.n and party not in self.corrupted
+        }
+        allowed = max(0, self.t - len(self.corrupted))
+        accepted = set(sorted(requested)[:allowed])
+        clipped = requested - accepted
+        if clipped:
+            self.clipped_corruptions.extend(
+                (round_index, party) for party in sorted(clipped)
+            )
+            warnings.warn(
+                f"adaptive corruption budget exhausted in round "
+                f"{round_index}: clipped parties {sorted(clipped)} "
+                f"(t={self.t}, already corrupted "
+                f"{len(self.corrupted)}) -- the adversary configuration "
+                "is over-powered and was silently weakened",
+                RuntimeWarning,
+                stacklevel=2,
             )
 
-        # 4. Adaptive corruptions take effect next round.
-        new_corruptions = self.adversary.adapt(view)
-        if new_corruptions:
-            allowed = self.t - len(self.corrupted)
-            for party in sorted(new_corruptions)[:allowed]:
-                if 0 <= party < self.n:
-                    self.corrupted.add(party)
+        record = RoundRecord(
+            round_index=round_index,
+            channel=(
+                next(iter(honest_channels)) if honest_channels else ""
+            ),
+            honest_messages=round_messages,
+            honest_bits=round_bits,
+            byzantine_messages=byz_count,
+            corrupted=frozenset(self.corrupted),
+            finished_parties=frozenset(
+                p for p, s in self._states.items() if s.finished
+            ),
+            honest_channels=tuple(sorted(honest_channels)),
+            new_corruptions=frozenset(accepted),
+            clipped_corruptions=frozenset(clipped),
+        )
+        if self.trace is not None:
+            self.trace.append(record)
+        for monitor in self.monitors:
+            self._monitored(monitor.on_round, record, self)
+
+        self.corrupted.update(accepted)

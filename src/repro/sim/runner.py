@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from .adversary import Adversary
+from .invariants import InvariantMonitor
 from .network import ExecutionResult, ProtocolFactory, SynchronousNetwork
 
 __all__ = ["run_protocol"]
@@ -17,8 +18,9 @@ def run_protocol(
     t: int,
     kappa: int = 128,
     adversary: Adversary | None = None,
-    max_rounds: int = 100_000,
+    max_rounds: int | None = None,
     trace: bool = False,
+    monitors: Sequence[InvariantMonitor] = (),
 ) -> ExecutionResult:
     """Simulate one execution of ``protocol_factory`` and return the result.
 
@@ -33,7 +35,13 @@ def run_protocol(
         kappa: security parameter in bits.
         adversary: byzantine strategy; defaults to spec-following corrupted
             parties.
-        max_rounds: safety cap on the number of simulated rounds.
+        max_rounds: safety cap on the number of simulated rounds; defaults
+            to a budget derived from the theoretical round complexity
+            (:func:`~repro.sim.network.default_round_budget`).
+        trace: collect a per-round :class:`~repro.sim.trace.RoundRecord`
+            trace on the result.
+        monitors: online invariant monitors
+            (:mod:`repro.sim.invariants`) evaluated during the run.
 
     Returns:
         The :class:`~repro.sim.network.ExecutionResult` with per-party
@@ -48,5 +56,6 @@ def run_protocol(
         adversary=adversary,
         max_rounds=max_rounds,
         trace=trace,
+        monitors=monitors,
     )
     return network.run()

@@ -8,12 +8,14 @@ simulated round.  Traces power
 * debugging (which subprotocol was active when behaviour diverged),
 * the per-round communication profiles in the analysis notebooks,
 * tests asserting *when* things happen (e.g. that the distributing step
-  only fires after a non-bottom root agreement).
+  only fires after a non-bottom root agreement),
+* the online invariant monitors of :mod:`repro.sim.invariants`, which
+  attach the offending record to every ``ProtocolViolation``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["RoundRecord", "summarize_trace"]
 
@@ -29,6 +31,30 @@ class RoundRecord:
     byzantine_messages: int
     corrupted: frozenset[int]
     finished_parties: frozenset[int]
+    #: distinct channel labels the running honest parties yielded this
+    #: round; more than one entry means the lockstep discipline broke.
+    honest_channels: tuple[str, ...] = ()
+    #: adaptive corruptions accepted at this round boundary (effective
+    #: from the next round).
+    new_corruptions: frozenset[int] = field(default_factory=frozenset)
+    #: adaptive corruptions the adversary requested but the ``t`` budget
+    #: clipped -- an over-powered adversary config, made visible.
+    clipped_corruptions: frozenset[int] = field(default_factory=frozenset)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by repro artifacts)."""
+        return {
+            "round_index": self.round_index,
+            "channel": self.channel,
+            "honest_messages": self.honest_messages,
+            "honest_bits": self.honest_bits,
+            "byzantine_messages": self.byzantine_messages,
+            "corrupted": sorted(self.corrupted),
+            "finished_parties": sorted(self.finished_parties),
+            "honest_channels": list(self.honest_channels),
+            "new_corruptions": sorted(self.new_corruptions),
+            "clipped_corruptions": sorted(self.clipped_corruptions),
+        }
 
 
 def summarize_trace(trace: list[RoundRecord]) -> dict[str, dict[str, int]]:

@@ -30,15 +30,21 @@ def honest_values(inputs, result):
 
 
 def assert_convex(inputs, result, output=None):
-    """Assert Agreement + Convex Validity for an execution result."""
-    value = result.common_output() if output is None else output
-    honest = honest_values(inputs, result)
-    assert honest, "no honest parties left"
-    assert min(honest) <= value <= max(honest), (
-        f"output {value} outside honest range "
-        f"[{min(honest)}, {max(honest)}]"
-    )
-    return value
+    """Assert Agreement + Convex Validity for an execution result.
+
+    Thin wrapper over :meth:`ExecutionResult.assert_convex_valid` so a
+    violation raises the same tagged :class:`ProtocolViolation` the
+    online monitors produce.
+    """
+    if output is not None:
+        honest = honest_values(inputs, result)
+        assert honest, "no honest parties left"
+        assert min(honest) <= output <= max(honest), (
+            f"output {output} outside honest range "
+            f"[{min(honest)}, {max(honest)}]"
+        )
+        return output
+    return result.assert_convex_valid(inputs)
 
 
 def run(factory, inputs, n, t, **kwargs):

@@ -1,0 +1,273 @@
+"""Fault-injection plane: specs, injectors, composition, record/replay,
+determinism, and adaptive-corruption clipping visibility."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import protocol_z
+from repro.sim import (
+    Adversary,
+    ComposedAdversary,
+    CrashAdversary,
+    EquivocatingAdversary,
+    FaultInjector,
+    FaultSpec,
+    PassiveAdversary,
+    RecordingAdversary,
+    ReplayAdversary,
+    SplitVoteAdversary,
+    run_protocol,
+)
+from repro.sim.faults import _garble
+
+KAPPA = 64
+
+
+def run_pi_z(inputs, n, t, adversary, **kwargs):
+    return run_protocol(
+        lambda ctx, v: protocol_z(ctx, v), inputs, n=n, t=t,
+        kappa=KAPPA, adversary=adversary, **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# FaultSpec
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(drop=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(replay=-0.1)
+
+    def test_is_noop(self):
+        assert FaultSpec().is_noop
+        assert not FaultSpec(drop=0.1).is_noop
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            drop=0.25, garble=0.5, links=frozenset({(1, 2), (3, 0)}),
+            seed=99,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_reseeded(self):
+        spec = FaultSpec(drop=0.25, seed=1)
+        other = spec.reseeded(2)
+        assert other.seed == 2 and other.drop == 0.25
+
+    def test_describe(self):
+        assert "drop=1.0" in FaultSpec(drop=1.0).describe()
+        assert "noop" in FaultSpec().describe()
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_drop_all(self):
+        injector = FaultInjector(FaultSpec(drop=1.0))
+        assert injector.apply({(3, 0): 7, (3, 1): 8}) == {}
+
+    def test_duplicate_carries_to_next_round(self):
+        injector = FaultInjector(FaultSpec(duplicate=1.0))
+        first = injector.apply({(3, 0): "x"})
+        assert first == {(3, 0): "x"}
+        second = injector.apply({})
+        assert second == {(3, 0): "x"}
+        assert injector.apply({}) == {}
+
+    def test_fresh_payload_overrides_carryover(self):
+        injector = FaultInjector(FaultSpec(duplicate=1.0))
+        injector.apply({(3, 0): "old"})
+        assert injector.apply({(3, 0): "new"}) == {(3, 0): "new"}
+
+    def test_garble_mutates_deterministically(self):
+        messages = {(3, 0): 1234}
+        a = FaultInjector(FaultSpec(garble=1.0, seed=5)).apply(messages)
+        b = FaultInjector(FaultSpec(garble=1.0, seed=5)).apply(messages)
+        assert a == b
+        assert a[(3, 0)] != 1234
+
+    def test_replay_resends_history(self):
+        injector = FaultInjector(FaultSpec(replay=1.0))
+        injector.apply({(3, 0): "first"})
+        out = injector.apply({(3, 0): "second"})
+        assert out == {(3, 0): "first"}
+
+    def test_link_restriction(self):
+        spec = FaultSpec(drop=1.0, links=frozenset({(3, 0)}))
+        out = FaultInjector(spec).apply({(3, 0): 1, (3, 1): 2})
+        assert out == {(3, 1): 2}
+
+
+class TestGarble:
+    @pytest.mark.parametrize("payload", [
+        True, 0, 41, b"", b"abc", "text", (1, 2), [], {"k": 3}, None,
+        ((1, "x"), b"y"),
+    ])
+    def test_total_and_deterministic(self, payload):
+        a = _garble(payload, random.Random(7))
+        b = _garble(payload, random.Random(7))
+        assert a == b
+
+    def test_bool_flips(self):
+        assert _garble(True, random.Random(0)) is False
+
+
+# ---------------------------------------------------------------------------
+# ComposedAdversary
+# ---------------------------------------------------------------------------
+
+
+class TestComposedAdversary:
+    def test_requires_parts(self):
+        with pytest.raises(ValueError):
+            ComposedAdversary([])
+
+    def test_corruption_union_clipped_to_budget(self):
+        composed = ComposedAdversary(
+            [CrashAdversary(), SplitVoteAdversary()]
+        )
+        assert len(composed.select_corruptions(7, 2)) <= 2
+
+    def test_explicit_initial_set(self):
+        composed = ComposedAdversary([CrashAdversary()], initial={1})
+        assert composed.select_corruptions(7, 2) == {1}
+
+    def test_describe_mentions_parts_and_faults(self):
+        composed = ComposedAdversary(
+            [PassiveAdversary(), EquivocatingAdversary()],
+            faults=FaultSpec(drop=0.5),
+        )
+        text = composed.describe()
+        assert "PassiveAdversary" in text
+        assert "drop=0.5" in text
+
+    def test_ca_survives_composition_with_faults(self):
+        inputs = [10, 20, 30, 40, 50, 60, 70]
+        composed = ComposedAdversary(
+            [EquivocatingAdversary(seed=3), SplitVoteAdversary(seed=4)],
+            faults=FaultSpec(drop=0.3, garble=0.3, replay=0.2, seed=9),
+            seed=1,
+        )
+        result = run_pi_z(inputs, 7, 2, composed)
+        result.assert_convex_valid(inputs)
+
+
+# ---------------------------------------------------------------------------
+# record / replay
+# ---------------------------------------------------------------------------
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_recorded_execution(self):
+        inputs = [10, 20, 30, 40, 50, 60, 70]
+        recorder = RecordingAdversary(
+            ComposedAdversary(
+                [EquivocatingAdversary(seed=3)],
+                faults=FaultSpec(garble=0.4, drop=0.2, seed=11),
+            )
+        )
+        original = run_pi_z(inputs, 7, 2, recorder, trace=True)
+        assert recorder.script, "expected recorded byzantine traffic"
+
+        replayer = ReplayAdversary(
+            recorder.script,
+            recorder.initial_corruptions,
+            recorder.adapt_schedule,
+        )
+        replayed = run_pi_z(inputs, 7, 2, replayer, trace=True)
+
+        assert replayed.outputs == original.outputs
+        assert replayed.stats.honest_bits == original.stats.honest_bits
+        assert replayed.stats.rounds == original.stats.rounds
+        assert replayed.trace == original.trace
+
+    def test_replay_misses_stay_silent(self):
+        replayer = ReplayAdversary({}, {3})
+        result = run_pi_z([1, 2, 3, 4], 4, 1, replayer)
+        result.assert_convex_valid([1, 2, 3, 4])
+
+    def test_describe(self):
+        replayer = ReplayAdversary({(0, 3, 1): 5}, {3}, [(2, 1)])
+        assert "1 messages" in replayer.describe()
+
+
+# ---------------------------------------------------------------------------
+# determinism regression (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_bit_identical_runs(self):
+        """Identical (protocol, inputs, adversary, seed) must give
+        bit-identical traces, stats, and outputs."""
+        inputs = [-100, -50, 0, 50, 100, 150, 200]
+
+        def once():
+            adversary = ComposedAdversary(
+                [EquivocatingAdversary(seed=3), CrashAdversary(2, seed=5)],
+                faults=FaultSpec(
+                    drop=0.2, duplicate=0.2, garble=0.2, replay=0.2, seed=8
+                ),
+                seed=2,
+            )
+            return run_pi_z(inputs, 7, 2, adversary, trace=True)
+
+        a, b = once(), once()
+        assert a.outputs == b.outputs
+        assert a.corrupted == b.corrupted
+        assert a.trace == b.trace
+        assert a.stats.honest_bits == b.stats.honest_bits
+        assert a.stats.honest_messages == b.stats.honest_messages
+        assert a.stats.rounds == b.stats.rounds
+        assert dict(a.stats.bits_by_channel) == dict(b.stats.bits_by_channel)
+        assert a.clipped_corruptions == b.clipped_corruptions
+
+
+# ---------------------------------------------------------------------------
+# adaptive-corruption clipping is visible, not silent (satellite)
+# ---------------------------------------------------------------------------
+
+
+class GreedyAdversary(Adversary):
+    """Requests more adaptive corruptions than the ``t`` budget allows."""
+
+    def select_corruptions(self, n, t):
+        return set()
+
+    def adapt(self, view):
+        if view.round_index == 0:
+            return {1, 2, 3}
+        return set()
+
+
+class TestClippedCorruptions:
+    def test_clipping_warns_and_records(self):
+        with pytest.warns(RuntimeWarning, match="clipped"):
+            result = run_pi_z(
+                [1, 2, 3, 4], 4, 1, GreedyAdversary(), trace=True
+            )
+        # budget t=1: exactly one request accepted, the rest recorded.
+        assert result.corrupted == {1}
+        assert result.clipped_corruptions == [(0, 2), (0, 3)]
+        record = result.trace[0]
+        assert record.new_corruptions == {1}
+        assert record.clipped_corruptions == {2, 3}
+
+    def test_within_budget_no_warning(self):
+        import warnings
+
+        adversary = ComposedAdversary([CrashAdversary()], initial={3})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = run_pi_z([1, 2, 3, 4], 4, 1, adversary, trace=True)
+        assert result.clipped_corruptions == []

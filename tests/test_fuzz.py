@@ -1,0 +1,269 @@
+"""Chaos driver: payload codec, case sampling, campaign, shrinking,
+repro artifacts, and the weakened-protocol canary."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core.add_last import add_last_bit
+from repro.core.bitstrings import BitString
+from repro.core.find_prefix import find_prefix
+from repro.sim.fuzz import (
+    ARTIFACT_FORMAT,
+    FuzzCase,
+    ProtocolSpec,
+    case_inputs,
+    decode_payload,
+    encode_payload,
+    fuzz,
+    load_artifact,
+    replay_artifact,
+    run_case,
+    sample_case,
+    standard_registry,
+)
+from repro.sim.invariants import paper_bit_budget, paper_round_budget
+
+
+# ---------------------------------------------------------------------------
+# payload codec
+# ---------------------------------------------------------------------------
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("payload", [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        1 << 200,            # beyond JSON float precision
+        b"",
+        b"\x00\xff",
+        "text",
+        (1, "a", None),
+        [1, [2, (3,)]],
+        frozenset({3, 1, 2}),
+        {"k": 1, "nested": (True, b"x")},
+        BitString(0b1011, 4),
+        (BitString(1, 1), frozenset({0})),
+    ])
+    def test_round_trip(self, payload):
+        data = encode_payload(payload)
+        json.dumps(data)  # must be pure JSON
+        assert decode_payload(data) == payload
+
+    def test_bool_int_distinction_survives(self):
+        assert decode_payload(encode_payload(True)) is True
+        assert decode_payload(encode_payload(1)) == 1
+        assert decode_payload(encode_payload(1)) is not True
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(ValueError):
+            encode_payload(object())
+
+
+# ---------------------------------------------------------------------------
+# registry and sampling
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryAndSampling:
+    def test_standard_registry_protocols(self):
+        registry = standard_registry()
+        assert set(registry) >= {
+            "pi_z", "pi_n", "fixed_length_ca", "fixed_length_ca_blocks",
+            "high_cost_ca", "broadcast_ca", "naive_broadcast_ca",
+        }
+
+    def test_sampling_is_deterministic(self):
+        registry = standard_registry()
+        a = sample_case(random.Random(5), registry)
+        b = sample_case(random.Random(5), registry)
+        assert a == b
+
+    def test_sampled_case_is_well_formed(self):
+        registry = standard_registry()
+        rng = random.Random(1)
+        for _ in range(20):
+            case = sample_case(rng, registry)
+            assert case.protocol in registry
+            assert 1 <= case.t <= (case.n - 1) // 3 or case.t == 1
+            assert 3 * case.t < case.n
+            assert case.ell > 0
+
+    def test_blocks_ell_is_multiple_of_n_squared(self):
+        registry = standard_registry()
+        spec = registry["fixed_length_ca_blocks"]
+        for n in (4, 5, 6, 7):
+            ell = spec.ell_for(n, 8)
+            assert ell > 0 and ell % (n * n) == 0
+
+    def test_case_dict_round_trip(self):
+        case = sample_case(random.Random(2), standard_registry())
+        assert FuzzCase.from_dict(case.to_dict()) == case
+
+    def test_case_inputs_spreads(self):
+        case = sample_case(random.Random(3), standard_registry())
+        for spread in ("spread", "clustered", "identical"):
+            variant = FuzzCase(**{**case.to_dict(),
+                                  "faults": case.faults,
+                                  "adversaries": case.adversaries,
+                                  "spread": spread})
+            values = case_inputs(variant)
+            assert len(values) == case.n
+            assert all(0 <= v < (1 << case.ell) for v in values)
+            if spread == "identical":
+                assert len(set(values)) == 1
+
+
+# ---------------------------------------------------------------------------
+# clean campaign (no false positives)
+# ---------------------------------------------------------------------------
+
+
+class TestCleanCampaign:
+    def test_small_campaign_is_clean(self):
+        report = fuzz(runs=10, seed=0)
+        assert report.clean, report.summary()
+        assert len(report.cases) == 10
+        assert "0 failure(s)" in report.summary()
+
+    def test_campaign_is_deterministic(self):
+        a = fuzz(runs=5, seed=7)
+        b = fuzz(runs=5, seed=7)
+        assert a.cases == b.cases
+
+    def test_protocol_filter(self):
+        report = fuzz(runs=4, seed=0, protocols=["pi_z"])
+        assert {case.protocol for case in report.cases} == {"pi_z"}
+        with pytest.raises(ValueError):
+            fuzz(runs=1, seed=0, protocols=["nope"])
+
+
+# ---------------------------------------------------------------------------
+# the canary: a deliberately weakened GetOutput must be caught,
+# shrunk, archived, and deterministically replayable.
+# ---------------------------------------------------------------------------
+
+
+def weak_fixed_length_ca(ctx, v_in, ell):
+    """FixedLengthCA with a broken phase 3: instead of running
+    ``GetOutput``'s witness announcement + BA, every party just takes
+    ``MAX_l(PREFIX*)`` locally -- which is not always in the honest hull."""
+    result = yield from find_prefix(
+        ctx, v_in, ell, unit_bits=1, channel="wflca/fp"
+    )
+    if result.prefix.length == ell:
+        return result.v
+    prefix = yield from add_last_bit(
+        ctx, result.prefix, result.v, ell, channel="wflca/al"
+    )
+    return prefix.max_fill(ell)
+
+
+def canary_registry():
+    return {
+        "weak_flca": ProtocolSpec(
+            name="weak_flca",
+            build=lambda ell: (
+                lambda ctx, v: weak_fixed_length_ca(ctx, v, ell)
+            ),
+            bit_budget=paper_bit_budget,
+            round_budget=paper_round_budget,
+        )
+    }
+
+
+class TestCanary:
+    def test_weakened_get_output_is_caught_and_replayable(self, tmp_path):
+        registry = canary_registry()
+        report = fuzz(
+            runs=12, seed=1, registry=registry,
+            artifact_dir=str(tmp_path),
+        )
+        assert not report.clean, "canary protocol escaped the monitors"
+        kinds = {failure.kind for failure in report.failures}
+        assert "ConvexValidityMonitor" in kinds
+
+        convex = next(
+            f for f in report.failures
+            if f.kind == "ConvexValidityMonitor"
+        )
+        # delta debugging actually reduced the byzantine script.
+        assert convex.shrunk
+        assert len(convex.script) < convex.original_script_size
+
+        # the archived artifact replays to the same violation, twice.
+        assert report.artifacts
+        artifact = load_artifact(report.artifacts[0])
+        assert artifact["format"] == ARTIFACT_FORMAT
+        first = replay_artifact(artifact, registry=registry)
+        second = replay_artifact(artifact, registry=registry)
+        assert first.violated and first.matches(artifact)
+        assert (first.kind, first.message) == (second.kind, second.message)
+
+    def test_cli_replay_reproduces(self, tmp_path, monkeypatch, capsys):
+        registry = canary_registry()
+        report = fuzz(
+            runs=12, seed=1, registry=registry,
+            artifact_dir=str(tmp_path),
+        )
+        assert report.artifacts
+        monkeypatch.setattr(
+            "repro.sim.fuzz.standard_registry", lambda: registry
+        )
+        assert main(["replay", report.artifacts[0]]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+
+    def test_run_case_returns_failure_for_weak_protocol(self):
+        registry = canary_registry()
+        rng = random.Random(repr(("fuzz", 1)))
+        failures = 0
+        for _ in range(12):
+            case = sample_case(rng, registry)
+            if run_case(case, registry) is not None:
+                failures += 1
+        assert failures > 0
+
+
+# ---------------------------------------------------------------------------
+# artifacts
+# ---------------------------------------------------------------------------
+
+
+class TestArtifacts:
+    def test_load_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other/9"}))
+        with pytest.raises(ValueError):
+            load_artifact(str(path))
+
+    def test_cli_replay_unknown_protocol_is_graceful(
+        self, tmp_path, capsys
+    ):
+        registry = canary_registry()
+        report = fuzz(
+            runs=12, seed=1, registry=registry,
+            artifact_dir=str(tmp_path),
+        )
+        assert report.artifacts
+        # default registry does not know weak_flca -> graceful exit 2.
+        assert main(["replay", report.artifacts[0]]) == 2
+        assert "not in the standard registry" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# CLI fuzz
+# ---------------------------------------------------------------------------
+
+
+class TestCliFuzz:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--runs", "3", "--seed", "0", "--quiet"]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out

@@ -27,11 +27,7 @@ class TestEndToEndScenarios:
         readings = [-10_050 + i for i in range(10)]
         outcome = convex_agreement(readings, kappa=KAPPA,
                                    adversary=adversary)
-        honest = [
-            v for i, v in enumerate(readings)
-            if i not in outcome.corrupted
-        ]
-        assert min(honest) <= outcome.value <= max(honest)
+        assert outcome.execution.assert_convex_valid(readings) == outcome.value
 
     def test_deterministic_replay(self):
         """Same inputs + same adversary seed -> bit-identical executions."""

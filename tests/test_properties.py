@@ -189,9 +189,7 @@ class TestProtocolInvariants:
             inputs, 5, 2, kappa=64,
             adversary=RandomGarbageAdversary(seed),
         )
-        out = result.common_output()
-        honest = [inputs[p] for p in range(5) if p not in result.corrupted]
-        assert min(honest) <= out <= max(honest)
+        result.assert_convex_valid(inputs)
 
 
 # ---------------------------------------------------------------------------
