@@ -21,7 +21,7 @@ from repro.analysis import Measurement
 from repro.core.protocol_z import protocol_z
 from repro.sim import run_protocol
 
-from conftest import record, run_measured
+from conftest import fan_out, record, run_measured
 
 N, T = 7, 2
 BOUND = 1 << 24
@@ -86,7 +86,7 @@ def test_ca_fixed_cost(benchmark):
 
 def test_aa_cost_monotone_in_precision(benchmark):
     def sweep():
-        return [run_aa(e) for e in (16, 0, -16)]
+        return fan_out(run_aa, [(e,) for e in (16, 0, -16)])
 
     coarse, mid, fine = benchmark.pedantic(sweep, rounds=1, iterations=1)
     assert coarse.bits < mid.bits < fine.bits
@@ -101,7 +101,8 @@ def test_curves_cross(benchmark):
     """Coarse AA is cheaper than CA; sufficiently fine AA is costlier."""
 
     def sweep():
-        return run_ca(), run_aa(16), run_aa(-320)
+        coarse, fine = fan_out(run_aa, [(16,), (-320,)])
+        return run_ca(), coarse, fine
 
     ca, coarse, fine = benchmark.pedantic(sweep, rounds=1, iterations=1)
     record("F4", "crossover coarse", coarse)

@@ -17,7 +17,7 @@ import pytest
 
 from repro.analysis import measure
 
-from conftest import record, run_measured
+from conftest import measure_grid, record, run_measured
 
 N, T = 7, 2
 ELL = 12544  # multiple of n^2 = 49, comfortably "very long"
@@ -25,15 +25,13 @@ ELL = 12544  # multiple of n^2 = 49, comfortably "very long"
 
 def test_bit_vs_block_granularity(benchmark):
     def sweep():
-        return {
-            "bits": measure(
-                "fixed_length_ca", N, T, ELL, seed=6, spread="clustered"
-            ),
-            "blocks": measure(
-                "fixed_length_ca_blocks", N, T, ELL, seed=6,
-                spread="clustered",
-            ),
-        }
+        bits, blocks = measure_grid([
+            dict(protocol="fixed_length_ca", n=N, t=T, ell=ELL,
+                 seed=6, spread="clustered"),
+            dict(protocol="fixed_length_ca_blocks", n=N, t=T, ell=ELL,
+                 seed=6, spread="clustered"),
+        ])
+        return {"bits": bits, "blocks": blocks}
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     record("F2", "granularity=bit", ms["bits"])
@@ -61,10 +59,11 @@ def test_kappa_hits_additive_term_only(benchmark):
     """Quadrupling kappa must not quadruple the l-dependent cost."""
 
     def sweep():
-        return [
-            measure("pi_z", N, T, 32768, kappa=k, seed=6, spread="clustered")
+        return measure_grid([
+            dict(protocol="pi_z", n=N, t=T, ell=32768, kappa=k,
+                 seed=6, spread="clustered")
             for k in (64, 256)
-        ]
+        ])
 
     small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
     ratio = large.bits / small.bits

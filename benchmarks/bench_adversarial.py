@@ -87,6 +87,9 @@ def make_inputs() -> list[int]:
 
 
 def run_under(adversary) -> Measurement:
+    # Deliberately not routed through conftest's fan_out harness: each
+    # call appends to the module-global _MEASURED that the JSON emitter
+    # drains, and that side effect would be lost in a worker process.
     inputs = make_inputs()
     result = run_protocol(
         lambda ctx, v: protocol_z(ctx, v), inputs, n=N, t=T, kappa=128,

@@ -25,7 +25,7 @@ from repro.asynchrony import (
     TargetedDelayScheduler,
 )
 
-from conftest import record, run_measured
+from conftest import fan_out, record, run_measured
 
 N, T = 6, 1
 BOUND = 1 << 16
@@ -93,7 +93,7 @@ def test_async_aa_vs_eps(benchmark, eps_exponent):
 
 def test_cost_linear_in_iterations(benchmark):
     def sweep():
-        return [run_async_aa(e, "fifo") for e in (8, 0, -8)]
+        return fan_out(run_async_aa, [(e, "fifo") for e in (8, 0, -8)])
 
     coarse, mid, fine = benchmark.pedantic(sweep, rounds=1, iterations=1)
     # each 256x precision gain adds 8 iterations at fixed per-iteration
@@ -107,7 +107,9 @@ def test_cost_linear_in_iterations(benchmark):
 
 def test_schedule_independence_of_message_complexity(benchmark):
     def sweep():
-        return {name: run_async_aa(0, name) for name in SCHEDULERS}
+        names = list(SCHEDULERS)
+        results = fan_out(run_async_aa, [(0, name) for name in names])
+        return dict(zip(names, results))
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     for name, m in ms.items():

@@ -73,6 +73,9 @@ def test_gap_to_plain_model_optimum(benchmark):
     ell = 4096
 
     def sweep():
+        # Stays serial: the plain-model half below closes over a local
+        # protocol lambda, which the engine's by-name worker transport
+        # cannot ship.  Two cases; nothing to win from a pool anyway.
         auth = run_auth_ca(7, 3, ell)
         base = 1 << (ell - 1)
         inputs = [base + 17 * i for i in range(7)]

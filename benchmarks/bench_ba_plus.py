@@ -15,7 +15,7 @@ from repro.analysis import Measurement, fit_power_law
 from repro.ba.ba_plus import ba_plus
 from repro.sim import run_protocol, standard_adversary_suite
 
-from conftest import record, run_measured
+from conftest import fan_out, record, run_measured
 
 NS = [(4, 1), (7, 2), (10, 3), (13, 4)]
 KAPPAS = [64, 128, 256]
@@ -73,7 +73,7 @@ def test_ba_plus_vs_kappa(benchmark, kappa):
 
 def test_ba_plus_growth_in_n(benchmark):
     def sweep():
-        return [run_ba_plus(n, t, 128) for n, t in NS]
+        return fan_out(run_ba_plus, [(n, t, 128) for n, t in NS])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent, _ = fit_power_law([m.n for m in ms], [m.bits for m in ms])

@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis import fit_power_law, measure
 
-from conftest import run_measured
+from conftest import measure_grid, run_measured
 
 N, T = 7, 2
 # long inputs: all well above n^2 = 49 bits
@@ -34,13 +34,11 @@ def test_blocks_vs_ell(benchmark, ell):
 
 def test_blocks_linear_in_ell(benchmark):
     def sweep():
-        return [
-            measure(
-                "fixed_length_ca_blocks", N, T, ell, seed=3,
-                spread="clustered",
-            )
+        return measure_grid([
+            dict(protocol="fixed_length_ca_blocks", n=N, t=T, ell=ell,
+                 seed=3, spread="clustered")
             for ell in ELLS
-        ]
+        ])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent, _ = fit_power_law(
@@ -55,13 +53,11 @@ def test_blocks_rounds_independent_of_ell(benchmark):
     increase in input length."""
 
     def sweep():
-        return [
-            measure(
-                "fixed_length_ca_blocks", N, T, ell, seed=3,
-                spread="clustered",
-            )
+        return measure_grid([
+            dict(protocol="fixed_length_ca_blocks", n=N, t=T, ell=ell,
+                 seed=3, spread="clustered")
             for ell in (1960, 125440)
-        ]
+        ])
 
     small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
     benchmark.extra_info["rounds_small"] = small.rounds

@@ -19,7 +19,7 @@ import pytest
 
 from repro.analysis import marginal_slope, measure
 
-from conftest import record, run_measured
+from conftest import measure_grid, record, run_measured
 
 N, T = 7, 2
 ELLS = [256, 1024, 4096, 16384]
@@ -42,10 +42,11 @@ def test_pi_z_wins_for_long_inputs(benchmark):
     """At the top of the sweep the paper's protocol must be cheapest."""
 
     def sweep():
-        return {
-            protocol: measure(protocol, N, T, ELLS[-1], seed=5)
+        measurements = measure_grid([
+            dict(protocol=protocol, n=N, t=T, ell=ELLS[-1], seed=5)
             for protocol in PROTOCOLS
-        }
+        ])
+        return dict(zip(PROTOCOLS, measurements))
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     for protocol, m in ms.items():
@@ -60,12 +61,15 @@ def test_marginal_slopes_ordering(benchmark):
     """Slopes (bits per extra input bit) must order as n < n^2 <= n^3."""
 
     def sweep():
+        ells = (4096, 16384)
+        flat = measure_grid([
+            dict(protocol=protocol, n=N, t=T, ell=ell, seed=5)
+            for protocol in PROTOCOLS
+            for ell in ells
+        ])
         out = {}
-        for protocol in PROTOCOLS:
-            ms = [
-                measure(protocol, N, T, ell, seed=5)
-                for ell in (4096, 16384)
-            ]
+        for index, protocol in enumerate(PROTOCOLS):
+            ms = flat[index * len(ells):(index + 1) * len(ells)]
             out[protocol] = marginal_slope(
                 [m.ell for m in ms], [m.bits for m in ms]
             )

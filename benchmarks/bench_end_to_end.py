@@ -15,7 +15,7 @@ import pytest
 
 from repro.analysis import fit_power_law, marginal_slope, measure
 
-from conftest import run_measured
+from conftest import measure_grid, run_measured
 
 N, T = 7, 2
 ELLS = [256, 1024, 4096, 16384, 65536]
@@ -49,10 +49,11 @@ def test_pi_z_marginal_slope_is_order_n(benchmark):
     """The headline number: each extra input bit costs ~n bits total."""
 
     def sweep():
-        return [
-            measure("pi_z", N, T, ell, seed=4, spread="clustered")
+        return measure_grid([
+            dict(protocol="pi_z", n=N, t=T, ell=ell, seed=4,
+                 spread="clustered")
             for ell in (16384, 65536)
-        ]
+        ])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     slope = marginal_slope([m.ell for m in ms], [m.bits for m in ms])
@@ -64,10 +65,11 @@ def test_pi_z_marginal_slope_is_order_n(benchmark):
 
 def test_pi_z_near_linear_in_ell(benchmark):
     def sweep():
-        return [
-            measure("pi_z", N, T, ell, seed=4, spread="clustered")
+        return measure_grid([
+            dict(protocol="pi_z", n=N, t=T, ell=ell, seed=4,
+                 spread="clustered")
             for ell in ELLS[1:]
-        ]
+        ])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent, r2 = fit_power_law([m.ell for m in ms], [m.bits for m in ms])
@@ -80,10 +82,11 @@ def test_pi_n_matches_pi_z_on_naturals(benchmark):
     """PI_Z adds only one bit-BA on top of PI_N."""
 
     def sweep():
-        return [
-            measure(name, N, T, 4096, seed=4, spread="clustered")
+        return measure_grid([
+            dict(protocol=name, n=N, t=T, ell=4096, seed=4,
+                 spread="clustered")
             for name in ("pi_n", "pi_z")
-        ]
+        ])
 
     pi_n, pi_z = benchmark.pedantic(sweep, rounds=1, iterations=1)
     overhead = pi_z.bits - pi_n.bits

@@ -13,7 +13,7 @@ from repro.analysis import Measurement, fit_power_law
 from repro.ba.ext_ba_plus import ext_ba_plus
 from repro.sim import run_protocol
 
-from conftest import record, run_measured
+from conftest import fan_out, record, run_measured
 
 KAPPA = 128
 N, T = 7, 2
@@ -55,7 +55,7 @@ def test_ext_ba_linear_in_ell(benchmark):
     """The fitted bits-vs-ell exponent over the sweep tail is ~1."""
 
     def sweep():
-        return [run_ext_ba(ell, True) for ell in ELLS]
+        return fan_out(run_ext_ba, [(ell, True) for ell in ELLS])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     # drop the smallest point where the kappa*n^2 additive term dominates
@@ -71,7 +71,7 @@ def test_ext_ba_bottom_flat_in_ell(benchmark):
     cost must be (nearly) independent of l."""
 
     def sweep():
-        return [run_ext_ba(ell, False) for ell in (512, 32768)]
+        return fan_out(run_ext_ba, [(ell, False) for ell in (512, 32768)])
 
     small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
     record("T1", "bottom ell=512", small)

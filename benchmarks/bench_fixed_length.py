@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis import fit_power_law, measure
 
-from conftest import run_measured
+from conftest import measure_grid, run_measured
 
 N, T = 7, 2
 ELLS = [256, 1024, 4096, 16384]
@@ -32,10 +32,11 @@ def test_fixed_length_ca_vs_ell(benchmark, ell):
 
 def test_fixed_length_ca_rounds_logarithmic(benchmark):
     def sweep():
-        return [
-            measure("fixed_length_ca", N, T, ell, seed=1, spread="clustered")
+        return measure_grid([
+            dict(protocol="fixed_length_ca", n=N, t=T, ell=ell,
+                 seed=1, spread="clustered")
             for ell in (256, 16384)
-        ]
+        ])
 
     small, large = benchmark.pedantic(sweep, rounds=1, iterations=1)
     # O(log l) iterations: 64x longer inputs -> rounds grow by at most
@@ -47,10 +48,11 @@ def test_fixed_length_ca_rounds_logarithmic(benchmark):
 
 def test_fixed_length_ca_bits_near_linear_tail(benchmark):
     def sweep():
-        return [
-            measure("fixed_length_ca", N, T, ell, seed=1, spread="clustered")
+        return measure_grid([
+            dict(protocol="fixed_length_ca", n=N, t=T, ell=ell,
+                 seed=1, spread="clustered")
             for ell in ELLS
-        ]
+        ])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent, _ = fit_power_law(

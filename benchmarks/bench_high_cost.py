@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import fit_power_law, measure
 
-from conftest import run_measured
+from conftest import measure_grid, run_measured
 
 ELLS = [256, 1024, 4096]
 NS = [(4, 1), (7, 2), (10, 3), (13, 4)]
@@ -42,7 +42,10 @@ def test_high_cost_vs_n(benchmark, n, t):
 
 def test_high_cost_linear_in_ell(benchmark):
     def sweep():
-        return [measure("high_cost_ca", 7, 2, ell, seed=2) for ell in ELLS]
+        return measure_grid([
+            dict(protocol="high_cost_ca", n=7, t=2, ell=ell, seed=2)
+            for ell in ELLS
+        ])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent, _ = fit_power_law([m.ell for m in ms], [m.bits for m in ms])
@@ -52,7 +55,10 @@ def test_high_cost_linear_in_ell(benchmark):
 
 def test_high_cost_cubic_in_n(benchmark):
     def sweep():
-        return [measure("high_cost_ca", n, t, 2048, seed=2) for n, t in NS]
+        return measure_grid([
+            dict(protocol="high_cost_ca", n=n, t=t, ell=2048, seed=2)
+            for n, t in NS
+        ])
 
     ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
     exponent, _ = fit_power_law([m.n for m in ms], [m.bits for m in ms])

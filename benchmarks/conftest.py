@@ -9,6 +9,15 @@ and printed as plain-text tables at the end of the session.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+    BENCH_WORKERS=auto pytest benchmarks/ --benchmark-only   # parallel
+
+Multi-point sweeps inside a benchmark go through the shared
+:func:`measure_grid`/:func:`fan_out` harness, which dispatches grid
+points over the process-pool engine (:mod:`repro.sim.parallel`).  The
+``BENCH_WORKERS`` environment variable picks the worker count (default
+``1`` = serial; ``auto`` = all cpus); by the engine's determinism
+contract the recorded bits/rounds are identical either way -- only the
+wall clock changes.
 
 Scale note: parameters are chosen so the full suite completes in a few
 minutes on a laptop while still spanning enough of each sweep for the
@@ -18,14 +27,69 @@ run.
 
 from __future__ import annotations
 
+import importlib
+import os
 from collections import defaultdict
+from typing import Callable, Sequence
 
 import pytest
 
 from repro.analysis import Measurement, format_table
+from repro.analysis.experiments import measure_case
+from repro.sim.parallel import resolve_workers, run_many
+
+#: worker processes for in-benchmark sweeps (``BENCH_WORKERS`` env var).
+WORKERS = resolve_workers(os.environ.get("BENCH_WORKERS", "1"))
 
 #: module-level registry: experiment id -> list of (label, Measurement)
 _RESULTS: dict[str, list[tuple[str, Measurement]]] = defaultdict(list)
+
+
+def _invoke_case(case: tuple) -> object:
+    """Engine entry point: resolve ``(module, fn, args)`` and call it."""
+    module_name, fn_name, args = case
+    fn = getattr(importlib.import_module(module_name), fn_name)
+    return fn(*args)
+
+
+def _collect(outcomes):
+    bad = [o for o in outcomes if not o.ok]
+    if bad:
+        raise RuntimeError(
+            f"{len(bad)} sweep case(s) failed; first: {bad[0].error}"
+        )
+    return [o.value for o in outcomes]
+
+
+def measure_grid(
+    jobs: Sequence[dict], workers: int | str | None = None
+) -> list[Measurement]:
+    """Run :func:`repro.analysis.measure` grid points via the engine.
+
+    ``jobs`` are ``measure()`` keyword dicts; results come back in job
+    order and are identical to a serial loop (each point is a pure
+    function of its parameters).
+    """
+    outcomes = run_many(measure_case, list(jobs), workers=workers or WORKERS)
+    return _collect(outcomes)
+
+
+def fan_out(
+    fn: Callable,
+    calls: Sequence[tuple],
+    workers: int | str | None = None,
+) -> list:
+    """Run ``fn(*args)`` for every args-tuple in ``calls`` via the engine.
+
+    ``fn`` must be module-level (workers resolve it by module + name);
+    use this for the custom per-benchmark runners that are not plain
+    ``measure()`` calls.
+    """
+    payloads = [
+        (fn.__module__, fn.__name__, tuple(args)) for args in calls
+    ]
+    outcomes = run_many(_invoke_case, payloads, workers=workers or WORKERS)
+    return _collect(outcomes)
 
 
 def record(experiment: str, label: str, measurement: Measurement) -> None:

@@ -6,8 +6,16 @@ from .experiments import (
     comparison_series,
     make_inputs,
     measure,
+    measure_case,
     sweep_ell,
     sweep_n,
+)
+from .sweeps import (
+    GridSpec,
+    grid_record,
+    run_grid,
+    save_sweep_document,
+    sweep_document,
 )
 from .predictions import (
     ba_plus_bits_model,
@@ -28,6 +36,7 @@ from .storage import load_measurements, save_measurements
 from .tables import format_measurements, format_table
 
 __all__ = [
+    "GridSpec",
     "PROTOCOLS",
     "Measurement",
     "ascii_chart",
@@ -46,11 +55,16 @@ __all__ = [
     "make_inputs",
     "marginal_slope",
     "measure",
+    "measure_case",
     "naive_broadcast_ca_bits_model",
     "phase_king_bits_model",
     "pi_z_bits_model",
+    "grid_record",
+    "run_grid",
     "save_measurements",
+    "save_sweep_document",
     "series_chart",
+    "sweep_document",
     "sweep_ell",
     "sweep_n",
 ]

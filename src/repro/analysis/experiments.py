@@ -56,6 +56,11 @@ class Measurement:
     messages: int
     output: Any
     channel_bits: dict[str, int] = field(default_factory=dict)
+    #: wall-clock seconds the simulated execution took.  Excluded from
+    #: equality: two runs of the same grid point are *the same
+    #: measurement* (that is the determinism contract the parallel
+    #: engine is tested against) even though their timings differ.
+    wall_s: float = field(default=0.0, compare=False)
 
     @property
     def bits_per_party(self) -> float:
@@ -170,7 +175,18 @@ def measure(
         messages=result.stats.honest_messages,
         output=result.common_output(),
         channel_bits=dict(result.stats.bits_by_channel),
+        wall_s=result.stats.wall_s,
     )
+
+
+def measure_case(params: dict) -> Measurement:
+    """:func:`measure` with keyword arguments packed in one dict.
+
+    The payload shape :func:`repro.sim.parallel.run_many` needs: a
+    module-level callable of one picklable argument, so benchmark grids
+    and CLI sweeps can fan grid points out over worker processes.
+    """
+    return measure(**params)
 
 
 def sweep_ell(

@@ -4,8 +4,9 @@ Commands:
 
 * ``run``     -- run Convex Agreement on a list of integer inputs under a
   chosen adversary and print the outcome + communication stats.
-* ``sweep``   -- sweep one protocol over input lengths and print the
-  measurement table.
+* ``sweep``   -- sweep one protocol over an ``ns x ells`` grid (optionally
+  on a worker pool) and print the measurement table; ``--bench-json``
+  emits the machine-readable ``BENCH_sweep.json`` document.
 * ``compare`` -- the F1 comparison (PI_Z vs baselines) at chosen sizes.
 * ``report``  -- regenerate the quick experiment report (T/F battery).
 * ``fuzz``    -- chaos campaign: random configs under invariant monitors,
@@ -16,6 +17,9 @@ Examples::
 
     python -m repro run -1005 -1004 -1003 --adversary outlier
     python -m repro sweep --protocol pi_z --n 7 --ells 256,1024,4096
+    python -m repro sweep --protocol fixed_length_ca --ns 4,7,10 \
+        --ells 256,4096 --workers auto --compare-serial \
+        --bench-json BENCH_sweep.json
     python -m repro compare --n 7 --ells 1024,16384
     python -m repro report --scale quick
     python -m repro fuzz --runs 50 --seed 0 --artifact-dir artifacts
@@ -36,7 +40,6 @@ from .analysis import (
     marginal_slope,
     save_measurements,
     series_chart,
-    sweep_ell,
 )
 from .analysis.report import FULL, QUICK, generate_report
 from .core.api import convex_agreement
@@ -89,10 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="plain model (t < n/3) or signatures (t < n/2)",
     )
 
-    sweep = sub.add_parser("sweep", help="sweep a protocol over ell")
+    sweep = sub.add_parser(
+        "sweep", help="sweep a protocol over an ns x ells grid"
+    )
     sweep.add_argument("--protocol", choices=sorted(PROTOCOLS),
                        default="pi_z")
     sweep.add_argument("--n", type=int, default=7)
+    sweep.add_argument("--ns", type=_int_list, default=None,
+                       help="sweep these party counts (overrides --n)")
     sweep.add_argument("--t", type=int, default=None)
     sweep.add_argument("--ells", type=_int_list, default=[256, 1024, 4096])
     sweep.add_argument("--kappa", type=int, default=128)
@@ -100,8 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["spread", "clustered", "identical"],
                        default="clustered")
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", default="1",
+                       help="worker processes: a count, or 'auto' for all "
+                            "cpus (results are identical regardless)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-grid-point wall-clock budget in seconds")
     sweep.add_argument("--save", default=None,
                        help="write the measurements to a JSON file")
+    sweep.add_argument("--bench-json", default=None,
+                       help="write the machine-readable sweep document "
+                            "(grid + timing) to this path")
+    sweep.add_argument("--compare-serial", action="store_true",
+                       help="also run the grid serially and record the "
+                            "speedup in the sweep document")
 
     compare = sub.add_parser("compare", help="PI_Z vs the baselines (F1)")
     compare.add_argument("--n", type=int, default=7)
@@ -137,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keep full failing scripts (skip delta-debugging)")
     fuzz.add_argument("--max-shrink-runs", type=int, default=400,
                       help="replay budget per shrink")
+    fuzz.add_argument("--workers", default="1",
+                      help="worker processes: a count, or 'auto' for all "
+                           "cpus (the report is identical regardless)")
+    fuzz.add_argument("--case-timeout", type=float, default=None,
+                      help="per-case wall-clock budget in seconds; an "
+                           "over-budget case becomes a recorded failure")
     fuzz.add_argument("--quiet", action="store_true",
                       help="only print the final summary")
 
@@ -182,24 +206,78 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    measurements = sweep_ell(
-        args.protocol, args.n, args.ells, t=args.t, kappa=args.kappa,
-        seed=args.seed, spread=args.spread,
+    from .analysis.sweeps import (
+        GridSpec,
+        run_grid,
+        save_sweep_document,
+        sweep_document,
+    )
+    from .sim.parallel import resolve_workers
+
+    ns = tuple(args.ns) if args.ns else (args.n,)
+    spec = GridSpec(
+        protocol=args.protocol,
+        ns=ns,
+        ells=tuple(args.ells),
+        t=args.t,
+        kappa=args.kappa,
+        seed=args.seed,
+        spread=args.spread,
+    )
+    workers = resolve_workers(args.workers)
+    try:
+        measurements, wall_s = run_grid(
+            spec, workers=workers, timeout_s=args.timeout
+        )
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    label = (
+        f"n={ns[0]}" if len(ns) == 1 else f"ns={','.join(map(str, ns))}"
     )
     print(
         format_measurements(
             measurements,
-            title=f"{args.protocol}: bits vs ell (n={args.n})",
+            title=f"{args.protocol}: bits vs ell ({label})",
         )
     )
-    if len(measurements) >= 2:
+    if len(ns) == 1 and len(measurements) >= 2:
         slope = marginal_slope(
             [m.ell for m in measurements], [m.bits for m in measurements]
         )
         print(f"\nmarginal cost: {slope:.1f} bits per extra input bit")
+    print(f"\nwall time: {wall_s:.2f}s on {workers} worker(s)")
+
+    serial_wall_s = None
+    if args.compare_serial and workers > 1:
+        serial_measurements, serial_wall_s = run_grid(
+            spec, workers=1, timeout_s=args.timeout
+        )
+        if serial_measurements != measurements:
+            print(
+                "error: serial and parallel sweeps disagree -- "
+                "determinism contract violated",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serial reference: {serial_wall_s:.2f}s "
+            f"(speedup {serial_wall_s / max(wall_s, 1e-9):.2f}x, "
+            "results identical)"
+        )
     if args.save:
         save_measurements(args.save, measurements)
         print(f"measurements saved to {args.save}")
+    if args.bench_json:
+        document = sweep_document(
+            spec,
+            measurements,
+            workers=workers,
+            wall_s=wall_s,
+            serial_wall_s=serial_wall_s,
+        )
+        path = save_sweep_document(document, args.bench_json)
+        print(f"sweep document written to {path}")
     return 0
 
 
@@ -257,6 +335,8 @@ def _cmd_fuzz(args) -> int:
             shrink=not args.no_shrink,
             max_shrink_runs=args.max_shrink_runs,
             progress=progress,
+            workers=args.workers,
+            case_timeout_s=args.case_timeout,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

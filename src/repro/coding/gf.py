@@ -88,8 +88,12 @@ class BinaryField:
         """Element-wise GF product of two broadcastable int arrays."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
-        result = self._exp[self._log[a] + self._log[b]]
         zero = (a == 0) | (b == 0)
+        # 0 has no discrete log: look up on a zero-safe copy (log 1 = 0)
+        # so no out-of-domain table access happens, then mask.
+        safe_a = np.where(a == 0, 1, a)
+        safe_b = np.where(b == 0, 1, b)
+        result = self._exp[self._log[safe_a] + self._log[safe_b]]
         return np.where(zero, 0, result)
 
     def scalar_mul_vec(self, scalar: int, vec: np.ndarray) -> np.ndarray:
@@ -97,8 +101,10 @@ class BinaryField:
         if scalar == 0:
             return np.zeros_like(np.asarray(vec, dtype=np.int64))
         vec = np.asarray(vec, dtype=np.int64)
-        result = self._exp[self._log[scalar] + self._log[vec]]
-        return np.where(vec == 0, 0, result)
+        zero = vec == 0
+        safe = np.where(zero, 1, vec)
+        result = self._exp[self._log[scalar] + self._log[safe]]
+        return np.where(zero, 0, result)
 
     def matmul(self, matrix: list[list[int]], data: np.ndarray) -> np.ndarray:
         """GF matrix product ``matrix (r x k) @ data (k x c) -> (r x c)``.

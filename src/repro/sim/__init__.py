@@ -5,8 +5,10 @@ This subpackage implements the execution model the paper assumes
 adaptive byzantine adversary, and bit-exact communication accounting --
 plus the robustness layer on top of it: online invariant monitors
 (:mod:`repro.sim.invariants`), a composable fault-injection plane
-(:mod:`repro.sim.faults`), and a chaos driver with shrinking repro
-artifacts (:mod:`repro.sim.fuzz`).
+(:mod:`repro.sim.faults`), a chaos driver with shrinking repro
+artifacts (:mod:`repro.sim.fuzz`), and a deterministic process-pool
+execution engine that fans independent cases out over workers
+(:mod:`repro.sim.parallel`).
 """
 
 from .adversary import (
@@ -46,6 +48,7 @@ from .invariants import (
 )
 from .metrics import CommunicationStats
 from .network import ExecutionResult, SynchronousNetwork, default_round_budget
+from .parallel import CaseOutcome, derive_seed, resolve_workers, run_many
 from .combinators import run_parallel
 from .party import Context, Outgoing, Proto, broadcast_round, exchange
 from .runner import run_protocol
@@ -85,11 +88,15 @@ __all__ = [
     "RoundRecord",
     "SynchronousNetwork",
     "WitnessSuppressionAdversary",
+    "CaseOutcome",
     "bit_size",
     "broadcast_round",
     "default_monitors",
     "default_round_budget",
+    "derive_seed",
     "exchange",
+    "resolve_workers",
+    "run_many",
     "paper_bit_budget",
     "paper_round_budget",
     "run_parallel",

@@ -23,6 +23,11 @@ programmatically::
 
 Every step is deterministic in the top-level seed: the same seed yields
 the same campaign, the same failures, and the same shrunk artifacts.
+Case ``i`` is seeded with ``H(campaign_seed, i)``
+(:func:`repro.sim.parallel.derive_seed`), never with a position in a
+shared RNG stream -- so campaigns fan out over worker processes
+(``workers > 1``) and still produce **byte-identical** reports and
+repro artifacts to a serial run.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ from .invariants import (
     paper_round_budget,
 )
 from .network import ProtocolFactory, SynchronousNetwork
+from .parallel import derive_seed, resolve_workers, run_many
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -71,6 +77,7 @@ __all__ = [
     "FuzzReport",
     "standard_registry",
     "sample_case",
+    "sample_case_at",
     "run_case",
     "shrink_failure",
     "failure_to_artifact",
@@ -357,6 +364,23 @@ def sample_case(
     )
 
 
+def sample_case_at(
+    campaign_seed: int,
+    index: int,
+    registry: dict[str, ProtocolSpec],
+) -> FuzzCase:
+    """Case ``index`` of the campaign with seed ``campaign_seed``.
+
+    The case is a pure function of ``(campaign_seed, index, registry)``
+    -- its RNG is seeded with ``derive_seed(campaign_seed, index)``, not
+    drawn from a stream shared across cases -- so any case can be
+    recomputed in isolation on any worker, which is what lets parallel
+    campaigns replicate serial ones exactly.
+    """
+    rng = random.Random(derive_seed(campaign_seed, index))
+    return sample_case(rng, registry)
+
+
 def case_inputs(case: FuzzCase) -> list[int]:
     """Deterministic per-party inputs for a case (honest workload)."""
     rng = random.Random(
@@ -440,6 +464,9 @@ class FuzzReport:
     cases: list[FuzzCase] = field(default_factory=list)
     failures: list[FuzzFailure] = field(default_factory=list)
     artifacts: list[str] = field(default_factory=list)
+    #: worker processes the campaign ran on (reporting only: the report
+    #: content is independent of it by construction).
+    workers: int = 1
 
     @property
     def clean(self) -> bool:
@@ -712,6 +739,51 @@ def replay_artifact(
 # ---------------------------------------------------------------------------
 
 
+def _filtered_registry(
+    registry: dict[str, ProtocolSpec], protocols: list[str] | None
+) -> dict[str, ProtocolSpec]:
+    if not protocols:
+        return registry
+    unknown = set(protocols) - set(registry)
+    if unknown:
+        raise ValueError(f"unknown protocols: {sorted(unknown)}")
+    return {name: registry[name] for name in protocols}
+
+
+def _run_campaign_case(
+    index: int,
+    campaign_seed: int,
+    registry: dict[str, ProtocolSpec],
+    shrink: bool,
+    max_shrink_runs: int,
+) -> FuzzFailure | None:
+    """Sample, execute, and (on failure) shrink one campaign case."""
+    case = sample_case_at(campaign_seed, index, registry)
+    failure = run_case(case, registry)
+    if failure is not None and shrink:
+        failure = shrink_failure(failure, registry, max_runs=max_shrink_runs)
+    return failure
+
+
+def _campaign_worker(task: dict) -> FuzzFailure | None:
+    """Process-pool entry point: one case, registry rebuilt in-worker.
+
+    ``ProtocolSpec`` factories are closures and do not pickle, so each
+    worker rebuilds the registry from a module-level ``registry_builder``
+    callable (the builder itself pickles by qualified name).
+    """
+    registry = _filtered_registry(
+        task["registry_builder"](), task["protocols"]
+    )
+    return _run_campaign_case(
+        task["index"],
+        task["campaign_seed"],
+        registry,
+        task["shrink"],
+        task["max_shrink_runs"],
+    )
+
+
 def fuzz(
     runs: int = 50,
     seed: int = 0,
@@ -721,33 +793,95 @@ def fuzz(
     shrink: bool = True,
     max_shrink_runs: int = 400,
     progress: Callable[[int, FuzzCase], None] | None = None,
+    workers: int | str | None = 1,
+    registry_builder: Callable[[], dict[str, ProtocolSpec]] | None = None,
+    case_timeout_s: float | None = None,
 ) -> FuzzReport:
     """Run a chaos campaign of ``runs`` sampled configurations.
 
     Every run executes one sampled case under the full monitor stack;
     failures are shrunk (unless ``shrink=False``) and, when
     ``artifact_dir`` is given, archived as replayable JSON artifacts.
+
+    ``workers > 1`` (or ``"auto"``) fans cases out over a process pool
+    via :func:`repro.sim.parallel.run_many`; reports and artifacts are
+    byte-identical to a serial run because every case is seeded by
+    ``derive_seed(seed, index)`` and collected in index order.  A worker
+    that crashes or exceeds ``case_timeout_s`` is surfaced as a recorded
+    ``ExecutionEngine`` failure instead of killing the campaign.
+
+    A custom registry travels to workers through ``registry_builder``
+    (a module-level callable returning the registry -- the specs
+    themselves hold closures and do not pickle).  Passing a bare
+    ``registry`` object without a builder forces serial execution.
     """
-    registry = registry or standard_registry()
-    if protocols:
-        unknown = set(protocols) - set(registry)
-        if unknown:
-            raise ValueError(f"unknown protocols: {sorted(unknown)}")
-        registry = {name: registry[name] for name in protocols}
-    rng = random.Random(repr(("fuzz", seed)))
-    report = FuzzReport(runs=runs, seed=seed)
+    if registry is None:
+        builder = registry_builder or standard_registry
+        parent_registry = _filtered_registry(builder(), protocols)
+    else:
+        builder = registry_builder
+        parent_registry = _filtered_registry(registry, protocols)
+    worker_count = resolve_workers(workers)
+    if builder is None:
+        # Unpicklable ad-hoc registry: the campaign itself stays
+        # deterministic either way, it just cannot leave this process.
+        worker_count = 1
+
+    report = FuzzReport(runs=runs, seed=seed, workers=worker_count)
+    if worker_count == 1:
+        outcomes = [
+            _run_campaign_case(
+                index, seed, parent_registry, shrink, max_shrink_runs
+            )
+            for index in range(runs)
+        ]
+        errors: dict[int, str] = {}
+    else:
+        tasks = [
+            {
+                "index": index,
+                "campaign_seed": seed,
+                "protocols": list(protocols) if protocols else None,
+                "shrink": shrink,
+                "max_shrink_runs": max_shrink_runs,
+                "registry_builder": builder,
+            }
+            for index in range(runs)
+        ]
+        collected = run_many(
+            _campaign_worker,
+            tasks,
+            workers=worker_count,
+            timeout_s=case_timeout_s,
+        )
+        outcomes = [outcome.value for outcome in collected]
+        errors = {
+            outcome.index: f"{outcome.error_type}: {outcome.error}"
+            for outcome in collected
+            if not outcome.ok
+        }
+
     for index in range(runs):
-        case = sample_case(rng, registry)
+        case = sample_case_at(seed, index, parent_registry)
         if progress is not None:
             progress(index, case)
         report.cases.append(case)
-        failure = run_case(case, registry)
+        failure = outcomes[index]
+        if index in errors:
+            # Crash/timeout isolation: the engine lost this case -- record
+            # it as a campaign failure rather than aborting the sweep.
+            spec = parent_registry[case.protocol]
+            failure = FuzzFailure(
+                case=case,
+                kind="ExecutionEngine",
+                message=errors[index],
+                inputs=_build_inputs(case, spec),
+                initial_corruptions=set(),
+                script={},
+                adapt_schedule=[],
+            )
         if failure is None:
             continue
-        if shrink:
-            failure = shrink_failure(
-                failure, registry, max_runs=max_shrink_runs
-            )
         report.failures.append(failure)
         if artifact_dir is not None:
             path = os.path.join(

@@ -22,6 +22,10 @@ class CommunicationStats:
     honest_bits: int = 0
     honest_messages: int = 0
     rounds: int = 0
+    #: wall-clock seconds the simulated execution took (set by the
+    #: simulator; excluded from equality so that determinism checks can
+    #: compare stats across runs and machines).
+    wall_s: float = field(default=0.0, compare=False)
     bits_by_channel: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )

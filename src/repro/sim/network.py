@@ -29,6 +29,7 @@ the partial trace, stats, and any outputs produced so far.
 from __future__ import annotations
 
 import math
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -189,6 +190,16 @@ class SynchronousNetwork:
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         """Execute until every honest party has terminated."""
+        started = time.perf_counter()
+        try:
+            return self._run()
+        finally:
+            # Wall time rides on the stats object so every exit path --
+            # normal completion, SimulationError with partial state,
+            # monitor violations -- carries its timing.
+            self.stats.wall_s = time.perf_counter() - started
+
+    def _run(self) -> ExecutionResult:
         for monitor in self.monitors:
             monitor.on_start(self)
         for round_index in range(self.max_rounds):

@@ -1,0 +1,290 @@
+"""Process-pool execution engine for sweeps, fuzz campaigns, benchmarks.
+
+Every driver that fans out *independent* protocol executions -- fuzz
+cases, benchmark grid points, exhaustive small-n strategy enumerations
+-- funnels through :func:`run_many`: a chunked
+:class:`~concurrent.futures.ProcessPoolExecutor` dispatcher whose
+results are, by construction, **byte-identical to a serial run**:
+
+* **Deterministic seed derivation.**  Case ``i`` of a campaign with
+  seed ``s`` is seeded with ``derive_seed(s, i) = H(s, i)`` (SHA-256),
+  never with a position in a shared RNG stream.  Any case can therefore
+  be recomputed in isolation, on any worker, in any order.
+* **Order-independent collection.**  Workers may finish in any order;
+  outcomes are reassembled by case index before being returned.
+* **Crash + timeout isolation.**  A case that raises is captured as a
+  failed :class:`CaseOutcome`; a case that exceeds ``timeout_s`` is
+  interrupted (``SIGALRM``) and recorded as a timeout; a worker process
+  that dies outright (segfault, ``os._exit``) fails only its chunk --
+  the pool is rebuilt and the campaign continues.
+* **Worker warm-up.**  Workers pre-build the ``GF(2^8)``/``GF(2^16)``
+  exp/log tables on start-up so per-case latencies do not include
+  one-off table construction.
+
+The engine deliberately accepts only *module-level* callables and
+picklable payloads: that restriction is what makes a case a pure
+function of ``(fn, payload)`` and hence reproducible anywhere.
+
+Usage::
+
+    from repro.sim.parallel import run_many
+
+    outcomes = run_many(measure_case, jobs, workers="auto")
+    results = [o.value for o in outcomes if o.ok]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "CaseOutcome",
+    "CaseTimeout",
+    "derive_seed",
+    "resolve_workers",
+    "run_many",
+    "warm_worker",
+]
+
+
+def derive_seed(campaign_seed: int, index: int) -> int:
+    """Per-case seed ``H(campaign_seed, case_index)`` (63-bit).
+
+    Hash-derived (rather than drawn from a shared RNG stream) so the
+    seed of case ``i`` does not depend on how many cases ran before it
+    -- the property that makes parallel and serial campaigns sample
+    identical cases.
+    """
+    material = f"repro-case-seed/{campaign_seed}/{index}".encode()
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalise a worker-count spec; ``None``/``"auto"``/``0`` -> #cpus."""
+    if workers is None or workers == 0 or workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    return count
+
+
+def warm_worker() -> None:
+    """Pool initializer: pre-build hot tables before the first case.
+
+    Importing :mod:`repro.coding.gf` constructs the ``GF256``/``GF65536``
+    exp/log tables at module scope, which is the only expensive one-off
+    state the protocol stack needs.
+    """
+    import repro.coding.gf  # noqa: F401  (import is the warm-up)
+
+
+class CaseTimeout(Exception):
+    """Raised inside a worker when a case exceeds its time budget."""
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """What happened to one dispatched case."""
+
+    index: int
+    value: Any = None
+    #: one-line error description; ``None`` on success.
+    error: str | None = None
+    #: exception class name, ``"CaseTimeout"``, or ``"WorkerCrash"``.
+    error_type: str | None = None
+    #: wall-clock seconds the case took inside its worker.
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - signal context
+    raise CaseTimeout("case exceeded its time budget")
+
+
+def _run_one(
+    fn: Callable[[Any], Any],
+    index: int,
+    payload: Any,
+    timeout_s: float | None,
+) -> CaseOutcome:
+    """Execute one case under the timeout guard; never raises."""
+    start = time.perf_counter()
+    previous = None
+    armed = timeout_s is not None and hasattr(signal, "SIGALRM")
+    if armed:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        value = fn(payload)
+        return CaseOutcome(
+            index=index,
+            value=value,
+            elapsed_s=time.perf_counter() - start,
+        )
+    except CaseTimeout:
+        return CaseOutcome(
+            index=index,
+            error=f"case timed out after {timeout_s}s",
+            error_type="CaseTimeout",
+            elapsed_s=time.perf_counter() - start,
+        )
+    except Exception as exc:
+        tail = traceback.format_exc(limit=4)
+        return CaseOutcome(
+            index=index,
+            error=f"{type(exc).__name__}: {exc}\n{tail}",
+            error_type=type(exc).__name__,
+            elapsed_s=time.perf_counter() - start,
+        )
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    chunk: list[tuple[int, Any]],
+    timeout_s: float | None,
+) -> list[CaseOutcome]:
+    """Worker entry point: run one chunk of ``(index, payload)`` cases."""
+    return [_run_one(fn, index, payload, timeout_s) for index, payload in chunk]
+
+
+def _default_chunksize(cases: int, workers: int) -> int:
+    """Chunks small enough to load-balance, large enough to amortise IPC.
+
+    Four chunks per worker keeps the pool busy when case costs are
+    skewed (the usual shape: one big grid point dominates) without
+    paying per-case pickling overhead on thousands of tiny cases.
+    """
+    return max(1, -(-cases // (workers * 4)))
+
+
+def run_many(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    workers: int | str | None = 1,
+    timeout_s: float | None = None,
+    chunksize: int | None = None,
+    progress: Callable[[CaseOutcome], None] | None = None,
+) -> list[CaseOutcome]:
+    """Run ``fn(payload)`` for every payload; outcomes in payload order.
+
+    Args:
+        fn: a **module-level** callable (workers import it by qualified
+            name); must be a pure function of its payload for the
+            serial/parallel determinism guarantee to hold.
+        payloads: picklable case inputs.
+        workers: process count; ``1`` (default) runs inline with
+            identical semantics, ``"auto"``/``None``/``0`` uses all
+            cpus.
+        timeout_s: per-case wall-clock budget; an over-budget case is
+            recorded as a failed outcome (``error_type="CaseTimeout"``).
+        chunksize: cases dispatched per worker task; defaults to
+            ``ceil(len(payloads) / (4 * workers))``.
+        progress: called with each :class:`CaseOutcome` as it is
+            *collected* (always in index order).
+
+    Returns:
+        One :class:`CaseOutcome` per payload, index-aligned.  A case
+        that raised, timed out, or lost its worker process is a failed
+        outcome -- :func:`run_many` itself only raises on unpicklable
+        inputs or misconfiguration.
+    """
+    worker_count = resolve_workers(workers)
+    cases = list(enumerate(payloads))
+    if not cases:
+        return []
+
+    if worker_count == 1 or len(cases) == 1:
+        outcomes = [
+            _run_one(fn, index, payload, timeout_s)
+            for index, payload in cases
+        ]
+    else:
+        size = chunksize or _default_chunksize(len(cases), worker_count)
+        chunks = [cases[i:i + size] for i in range(0, len(cases), size)]
+        outcomes = _dispatch(fn, chunks, worker_count, timeout_s)
+    outcomes.sort(key=lambda outcome: outcome.index)
+    if progress is not None:
+        for outcome in outcomes:
+            progress(outcome)
+    return outcomes
+
+
+def _pool_pass(
+    fn: Callable[[Any], Any],
+    chunks: list[list[tuple[int, Any]]],
+    workers: int,
+    timeout_s: float | None,
+    outcomes: list[CaseOutcome],
+) -> list[list[tuple[int, Any]]]:
+    """One executor pass; returns the chunks lost to a pool breakage."""
+    failed: list[list[tuple[int, Any]]] = []
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=warm_worker,
+    )
+    try:
+        futures = [
+            (executor.submit(_run_chunk, fn, chunk, timeout_s), chunk)
+            for chunk in chunks
+        ]
+        for future, chunk in futures:
+            try:
+                outcomes.extend(future.result())
+            except BrokenProcessPool:
+                failed.append(chunk)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    return failed
+
+
+def _dispatch(
+    fn: Callable[[Any], Any],
+    chunks: list[list[tuple[int, Any]]],
+    workers: int,
+    timeout_s: float | None,
+) -> list[CaseOutcome]:
+    """Fan chunks out over a pool, surviving broken worker processes.
+
+    A hard worker death (segfault, ``os._exit``) breaks the whole pool,
+    taking every in-flight chunk with it.  Lost chunks are split into
+    single-case chunks and retried in fresh pools until the survivors
+    drain; a case that keeps killing its worker is recorded as a
+    ``WorkerCrash`` outcome instead of aborting the campaign.
+    """
+    outcomes: list[CaseOutcome] = []
+    lost = _pool_pass(fn, chunks, workers, timeout_s, outcomes)
+    pending = [[case] for chunk in lost for case in chunk]
+    while pending:
+        failed = _pool_pass(fn, pending, workers, timeout_s, outcomes)
+        if len(failed) == len(pending):
+            # No progress: every remaining case reliably kills its worker.
+            outcomes.extend(
+                CaseOutcome(
+                    index=index,
+                    error="worker process died while running this case",
+                    error_type="WorkerCrash",
+                )
+                for chunk in failed
+                for index, _ in chunk
+            )
+            break
+        pending = failed
+    return outcomes

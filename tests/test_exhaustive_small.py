@@ -6,6 +6,11 @@ a small message alphabet is fully enumerable.  These tests iterate
 rounds of ``GetOutput`` and ``PI_BA+`` -- no sampling, no seeds -- and
 assert the lemma conclusions in each case.  This catches threshold
 off-by-ones that randomized adversaries can miss.
+
+The GetOutput enumeration (|alphabet|^n = 625 independent executions)
+runs through the process-pool engine (:mod:`repro.sim.parallel`): each
+strategy is a pure function of its alphabet-index tuple, so the sweep
+parallelises with byte-identical verdicts.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from repro.ba.ba_plus import ba_plus
 from repro.core.bitstrings import BitString
 from repro.core.get_output import get_output
 from repro.sim import DROP, ScriptedAdversary, run_protocol
+from repro.sim.network import default_round_budget
+from repro.sim.parallel import run_many
 
 KAPPA = 64
 N, T = 4, 1
@@ -32,6 +39,37 @@ def per_dest_strategies(alphabet, dests):
         yield dict(zip(dests, combo))
 
 
+def run_announce_strategy(combo_indices: tuple[int, ...]) -> int:
+    """One GetOutput execution under one announce-round strategy.
+
+    Takes alphabet *indices* (not values: the ``DROP`` sentinel must
+    not cross a process boundary -- it is compared by identity) and
+    returns the common honest output.  Module-level and index-driven so
+    the engine can fan the full enumeration out over workers.
+    """
+    assignment = {
+        dst: ANNOUNCE_ALPHABET[i] for dst, i in enumerate(combo_indices)
+    }
+    prefix = BitString.from_str("01")
+    ell = 4
+    below = prefix.min_fill(ell) - 1  # = 3 -> below MIN(0100)=4
+    inputs = [below] * N
+
+    def handler(view, src, dst, spec):
+        if view.channel.endswith("/announce"):
+            return assignment[dst]
+        return spec if spec is not None else DROP
+
+    def factory(ctx, v):
+        return get_output(ctx, prefix, v, ell)
+
+    result = run_protocol(
+        factory, inputs, N, T, kappa=KAPPA,
+        adversary=ScriptedAdversary(handler),
+    )
+    return result.common_output()
+
+
 class TestGetOutputExhaustive:
     """Every corrupted behaviour in the announce round of GetOutput.
 
@@ -43,31 +81,51 @@ class TestGetOutputExhaustive:
     its own tests).
     """
 
-    @pytest.mark.parametrize(
-        "assignment",
-        list(per_dest_strategies(ANNOUNCE_ALPHABET, range(N))),
-        ids=lambda a: "/".join(str(a[d]) for d in range(N)),
+    COMBOS = list(
+        itertools.product(range(len(ANNOUNCE_ALPHABET)), repeat=N)
     )
-    def test_all_announce_behaviours(self, assignment):
-        prefix = BitString.from_str("01")
-        ell = 4
-        below = prefix.min_fill(ell) - 1  # = 3 -> below MIN(0100)=4
-        inputs = [below] * N
 
-        def handler(view, src, dst, spec):
-            if view.channel.endswith("/announce"):
-                return assignment[dst]
-            return spec if spec is not None else DROP
-
-        def factory(ctx, v):
-            return get_output(ctx, prefix, v, ell)
-
-        result = run_protocol(
-            factory, inputs, N, T, kappa=KAPPA,
-            adversary=ScriptedAdversary(handler),
-        )
+    def test_all_announce_behaviours(self):
+        expected = BitString.from_str("01").min_fill(4)
+        outcomes = run_many(run_announce_strategy, self.COMBOS, workers=2)
+        assert len(outcomes) == len(ANNOUNCE_ALPHABET) ** N
+        bad = {
+            self.COMBOS[o.index]: o.error or o.value
+            for o in outcomes
+            if not o.ok or o.value != expected
+        }
         # all honest witnesses are below: MAX would be invalid.
-        assert result.common_output() == prefix.min_fill(ell)
+        assert not bad, f"{len(bad)} strategy(ies) escaped: {bad}"
+
+    def test_enumeration_matches_serial(self):
+        """Engine conformance on a real protocol sweep: a slice of the
+        enumeration gives identical verdicts serially and in parallel."""
+        combos = self.COMBOS[::40]
+        serial = run_many(run_announce_strategy, combos, workers=1)
+        parallel = run_many(run_announce_strategy, combos, workers=4)
+        assert serial == parallel
+
+
+class TestRoundBudgetRegression:
+    """Pin the default round budgets the monitors and fuzz campaigns
+    derive from (n, t).  These values gate every chaos campaign: a
+    silent change would loosen (or break) all RoundBudgetMonitor
+    verdicts, so drift must be a conscious, reviewed edit here."""
+
+    @pytest.mark.parametrize("n,t,budget", [
+        (4, 1, 12288),
+        (7, 2, 26112),
+        (10, 3, 49152),
+        (16, 5, 73728),
+    ])
+    def test_pinned_budgets(self, n, t, budget):
+        assert default_round_budget(n, t) == budget
+
+    def test_budget_monotone_in_n(self):
+        budgets = [default_round_budget(n, (n - 1) // 3)
+                   for n in (4, 7, 10, 13, 16)]
+        assert budgets == sorted(budgets)
+        assert len(set(budgets)) == len(budgets)
 
 
 class TestBaPlusVoteExhaustive:

@@ -100,6 +100,37 @@ class TestVectorised:
         out = GF256.matmul(identity, data)
         assert out.tolist() == data.tolist()
 
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_matmul_matches_scalar_loop(self, rows, inner, cols, rnd):
+        matrix = [
+            [rnd.randrange(256) for _ in range(inner)] for _ in range(rows)
+        ]
+        data = np.array(
+            [[rnd.randrange(256) for _ in range(cols)] for _ in range(inner)]
+        )
+        out = GF256.matmul(matrix, data)
+        for r in range(rows):
+            for c in range(cols):
+                acc = 0
+                for k in range(inner):
+                    acc ^= GF256.mul(matrix[r][k], int(data[k, c]))
+                assert out[r, c] == acc
+
+    @given(
+        st.lists(elements64k, min_size=1, max_size=20),
+        st.lists(elements64k, min_size=1, max_size=20),
+    )
+    def test_mul_vec_matches_scalar_gf65536(self, xs, ys):
+        size = min(len(xs), len(ys))
+        xs, ys = xs[:size], ys[:size]
+        out = GF65536.mul_vec(np.array(xs), np.array(ys))
+        assert out.tolist() == [GF65536.mul(a, b) for a, b in zip(xs, ys)]
+
     def test_matmul_matches_manual(self):
         matrix = [[3, 1], [0, 7]]
         data = np.array([[2, 4], [5, 6]])
@@ -110,6 +141,41 @@ class TestVectorised:
                     matrix[r][1], int(data[1, c])
                 )
                 assert out[r, c] == expected
+
+
+class TestZeroHandling:
+    """Regression: the vectorised paths index the log table, and
+    ``log(0)`` is undefined -- zero entries must short-circuit to zero
+    instead of reading ``_log[0]`` garbage."""
+
+    @pytest.mark.parametrize("field", [GF256, GF65536], ids=["2^8", "2^16"])
+    def test_mul_vec_all_zero(self, field):
+        zeros = np.zeros(16, dtype=np.int64)
+        ones = np.full(16, 1, dtype=np.int64)
+        assert field.mul_vec(zeros, zeros).tolist() == [0] * 16
+        assert field.mul_vec(zeros, ones).tolist() == [0] * 16
+        assert field.mul_vec(ones, zeros).tolist() == [0] * 16
+
+    @pytest.mark.parametrize("field", [GF256, GF65536], ids=["2^8", "2^16"])
+    def test_mul_vec_mixed_zeros(self, field):
+        a = np.array([0, 3, 0, 7, 1, 0])
+        b = np.array([5, 0, 0, 2, 0, 1])
+        expected = [field.mul(int(x), int(y)) for x, y in zip(a, b)]
+        assert field.mul_vec(a, b).tolist() == expected
+        assert expected[:3] == [0, 0, 0]
+
+    @pytest.mark.parametrize("field", [GF256, GF65536], ids=["2^8", "2^16"])
+    def test_scalar_mul_vec_zero_cases(self, field):
+        vec = np.array([0, 1, 2, 0, field.order - 1])
+        assert field.scalar_mul_vec(0, vec).tolist() == [0] * 5
+        assert field.scalar_mul_vec(1, vec).tolist() == vec.tolist()
+        out = field.scalar_mul_vec(3, vec)
+        assert out[0] == 0 and out[3] == 0
+
+    def test_matmul_zero_matrix(self):
+        zero = [[0, 0], [0, 0]]
+        data = np.array([[9, 8], [7, 6]])
+        assert GF256.matmul(zero, data).tolist() == [[0, 0], [0, 0]]
 
 
 class TestLinearAlgebra:

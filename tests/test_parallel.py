@@ -1,0 +1,263 @@
+"""The execution engine and its determinism-conformance contract.
+
+Three layers:
+
+1. ``run_many`` mechanics -- ordering, error capture, per-case
+   timeouts, crash isolation, progress callbacks.
+2. Seed derivation -- pinned ``derive_seed`` values (the fuzz corpus
+   is keyed on these; changing the scheme silently invalidates every
+   archived artifact) plus independence properties.
+3. Conformance -- the headline guarantee: a campaign or sweep run with
+   ``workers=1`` and ``workers=4`` produces identical failure sets,
+   identical minimized scripts, and byte-identical JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import GridSpec, grid_record, run_grid, sweep_document
+from repro.sim.fuzz import fuzz, sample_case_at, standard_registry
+from repro.sim.parallel import (
+    CaseOutcome,
+    derive_seed,
+    resolve_workers,
+    run_many,
+)
+
+from test_fuzz import canary_registry
+
+
+# ---------------------------------------------------------------------------
+# module-level case functions (workers resolve them by qualified name)
+# ---------------------------------------------------------------------------
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def fail_on_odd(x: int) -> int:
+    if x % 2:
+        raise ValueError(f"odd payload {x}")
+    return x
+
+
+def sleep_for(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def die_on_negative(x: int) -> int:
+    if x < 0:
+        os._exit(13)  # hard death: not an exception, kills the worker
+    return x
+
+
+# ---------------------------------------------------------------------------
+# seed derivation
+# ---------------------------------------------------------------------------
+
+
+class TestDeriveSeed:
+    def test_pinned_values(self):
+        """The derivation scheme is a wire format: artifacts and docs
+        reference concrete seeds, so the function is pinned exactly."""
+        assert derive_seed(0, 0) == 7262142964560316476
+        assert derive_seed(0, 1) == 3879412852342684207
+        assert derive_seed(0, 2) == 7566327148153535972
+        assert derive_seed(1, 0) == 2079183378810927902
+        assert derive_seed(42, 7) == 2230503629522432161
+
+    def test_63_bit_range(self):
+        for index in range(200):
+            seed = derive_seed(3, index)
+            assert 0 <= seed < (1 << 63)
+
+    def test_injective_in_practice(self):
+        seeds = {derive_seed(s, i) for s in range(20) for i in range(200)}
+        assert len(seeds) == 20 * 200
+
+    def test_independent_of_position(self):
+        """Case i's seed does not depend on any other case -- the
+        property that lets workers compute cases in any order."""
+        assert derive_seed(9, 137) == derive_seed(9, 137)
+        assert derive_seed(9, 137) != derive_seed(9, 136)
+        assert derive_seed(9, 137) != derive_seed(8, 137)
+
+
+class TestResolveWorkers:
+    def test_auto_spellings(self):
+        cpus = max(1, os.cpu_count() or 1)
+        assert resolve_workers(None) == cpus
+        assert resolve_workers("auto") == cpus
+        assert resolve_workers(0) == cpus
+
+    def test_explicit_counts(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers("3") == 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+        with pytest.raises(ValueError):
+            resolve_workers("nope")
+
+
+# ---------------------------------------------------------------------------
+# run_many mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestRunMany:
+    def test_empty(self):
+        assert run_many(square, []) == []
+
+    def test_serial_values_in_order(self):
+        outcomes = run_many(square, [3, 1, 4, 1, 5])
+        assert [o.value for o in outcomes] == [9, 1, 16, 1, 25]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+        assert all(o.ok for o in outcomes)
+
+    def test_parallel_matches_serial(self):
+        payloads = list(range(37))
+        serial = run_many(square, payloads, workers=1)
+        parallel = run_many(square, payloads, workers=4)
+        assert serial == parallel  # elapsed_s is excluded from equality
+
+    def test_errors_are_outcomes_not_exceptions(self):
+        outcomes = run_many(fail_on_odd, [0, 1, 2, 3], workers=2,
+                            chunksize=1)
+        assert [o.ok for o in outcomes] == [True, False, True, False]
+        failed = outcomes[1]
+        assert failed.error_type == "ValueError"
+        assert "odd payload 1" in failed.error
+        assert failed.value is None
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_timeout_is_recorded(self, workers):
+        outcomes = run_many(
+            sleep_for, [0.0, 5.0], workers=workers, timeout_s=0.2,
+            chunksize=1,
+        )
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert outcomes[1].error_type == "CaseTimeout"
+
+    def test_worker_crash_is_isolated(self):
+        """A case that kills its process fails alone; the campaign and
+        every other case survive."""
+        outcomes = run_many(
+            die_on_negative, [1, -1, 2, 3], workers=2, chunksize=1
+        )
+        assert [o.ok for o in outcomes] == [True, False, True, True]
+        assert outcomes[1].error_type == "WorkerCrash"
+        assert [o.value for o in outcomes if o.ok] == [1, 2, 3]
+
+    def test_progress_in_index_order(self):
+        seen = []
+        run_many(
+            square, [5, 6, 7, 8], workers=2, chunksize=1,
+            progress=lambda o: seen.append(o.index),
+        )
+        assert seen == [0, 1, 2, 3]
+
+    def test_elapsed_excluded_from_equality(self):
+        a = CaseOutcome(index=0, value=1, elapsed_s=0.5)
+        b = CaseOutcome(index=0, value=1, elapsed_s=123.0)
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# conformance: fuzz campaigns
+# ---------------------------------------------------------------------------
+
+
+class TestFuzzConformance:
+    def test_identical_failures_and_artifacts(self, tmp_path):
+        """Same seed, workers=1 vs workers=4: identical cases, identical
+        failure sets, identical minimized scripts, byte-identical
+        artifact files."""
+        dir_serial = tmp_path / "serial"
+        dir_parallel = tmp_path / "parallel"
+        serial = fuzz(
+            runs=12, seed=1, registry_builder=canary_registry,
+            artifact_dir=str(dir_serial), workers=1,
+        )
+        parallel = fuzz(
+            runs=12, seed=1, registry_builder=canary_registry,
+            artifact_dir=str(dir_parallel), workers=4,
+        )
+
+        assert serial.cases == parallel.cases
+        assert not serial.clean  # the canary must be caught either way
+        assert len(serial.failures) == len(parallel.failures)
+        for a, b in zip(serial.failures, parallel.failures):
+            assert (a.case, a.kind, a.inputs) == (b.case, b.kind, b.inputs)
+            assert a.script == b.script          # same minimized script
+            assert a.shrunk == b.shrunk
+
+        names_serial = sorted(p.name for p in dir_serial.iterdir())
+        names_parallel = sorted(p.name for p in dir_parallel.iterdir())
+        assert names_serial == names_parallel
+        for name in names_serial:
+            assert (dir_serial / name).read_bytes() == (
+                dir_parallel / name
+            ).read_bytes()
+
+    def test_clean_campaign_parallel(self):
+        report = fuzz(
+            runs=10, seed=0, registry_builder=standard_registry, workers=2
+        )
+        assert report.clean, report.summary()
+        assert report.workers == 2
+        # the cases are exactly the serial campaign's cases:
+        assert report.cases == fuzz(runs=10, seed=0).cases
+
+    def test_sample_case_at_matches_campaign(self):
+        registry = standard_registry()
+        report = fuzz(runs=6, seed=3)
+        for index, case in enumerate(report.cases):
+            assert sample_case_at(3, index, registry) == case
+
+
+# ---------------------------------------------------------------------------
+# conformance: benchmark sweeps
+# ---------------------------------------------------------------------------
+
+
+class TestSweepConformance:
+    SPEC = GridSpec(
+        protocol="pi_z", ns=(4, 7), ells=(64, 256), seed=11
+    )
+
+    def test_grid_identical_across_worker_counts(self):
+        serial, _ = run_grid(self.SPEC, workers=1)
+        parallel, _ = run_grid(self.SPEC, workers=2)
+        assert [grid_record(m) for m in serial] == [
+            grid_record(m) for m in parallel
+        ]
+
+    def test_sweep_document_grid_section_is_canonical(self):
+        """The deterministic section of BENCH_sweep.json serialises to
+        identical canonical JSON regardless of worker count; only the
+        ``timing`` section may differ."""
+        serial, wall_serial = run_grid(self.SPEC, workers=1)
+        parallel, wall_parallel = run_grid(self.SPEC, workers=2)
+        doc_serial = sweep_document(
+            self.SPEC, serial, workers=1, wall_s=wall_serial
+        )
+        doc_parallel = sweep_document(
+            self.SPEC, parallel, workers=2, wall_s=wall_parallel
+        )
+        canon = lambda doc: json.dumps(  # noqa: E731
+            {k: v for k, v in doc.items() if k not in ("timing", "workers")},
+            sort_keys=True,
+        )
+        assert canon(doc_serial) == canon(doc_parallel)
+        assert doc_serial["timing"]["wall_s"] >= 0.0

@@ -7,9 +7,19 @@ from hypothesis import given, settings, strategies as st
 
 from repro.coding.gf import GF256
 from repro.coding.reed_solomon import ReedSolomonCode, rs_code
+from repro.crypto import merkle
 from repro.errors import CodingError
 
 payloads = st.binary(min_size=0, max_size=400)
+
+#: the paper's regime: n parties, t < n/3 corruptions, k = n - t shares
+#: suffice to decode (Section 3's extension protocols distribute one
+#: share per party and survive t erasures).
+grid_params = st.tuples(
+    st.integers(min_value=4, max_value=16),       # n
+    st.integers(min_value=1, max_value=5),        # t (clamped below)
+    st.integers(min_value=0, max_value=96),       # payload bytes
+).map(lambda p: (p[0], min(p[1], (p[0] - 1) // 3), p[2]))
 
 
 class TestEncode:
@@ -136,6 +146,89 @@ class TestParameters:
 
     def test_rs_code_cached(self):
         assert rs_code(7, 5) is rs_code(7, 5)
+
+
+class TestParameterGrid:
+    """Property tests over the paper's whole (n, t, l) parameter box."""
+
+    @given(grid_params, st.binary(min_size=0, max_size=96),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_under_t_erasures(self, params, data, rnd):
+        n, t, _ = params
+        code = rs_code(n, n - t)
+        shares = code.encode(data)
+        erased = set(rnd.sample(range(n), t))
+        subset = {i: shares[i] for i in range(n) if i not in erased}
+        assert code.decode(subset) == data
+
+    @given(grid_params, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_sized_payload(self, params, rnd):
+        n, t, size = params
+        code = rs_code(n, n - t)
+        data = bytes(rnd.randrange(256) for _ in range(size))
+        shares = code.encode(data)
+        keep = rnd.sample(range(n), n - t)
+        assert code.decode({i: shares[i] for i in keep}) == data
+
+    @given(grid_params)
+    @settings(max_examples=40, deadline=None)
+    def test_share_length_bound(self, params):
+        """Per-share cost is ~l/k + O(1) symbols -- the fact that makes
+        the extension protocols' O(l n) totals work out."""
+        n, t, size = params
+        code = rs_code(n, n - t)
+        symbol_bytes = 2  # GF(2^16) symbols
+        per_share_symbols = code.share_length(size) // symbol_bytes
+        k = n - t
+        assert per_share_symbols <= -(-size // symbol_bytes) // k + (k + 2)
+
+
+class TestMerkleFiltersCorruption:
+    """The division of labour the codec tests only document: RS decodes
+    erasures, the Merkle layer upstream turns corruption INTO erasure.
+    This is exactly Section 3's share-distribution pattern."""
+
+    KAPPA = 64
+
+    @given(grid_params, st.binary(min_size=1, max_size=64),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_garbled_shares_filtered_then_decoded(self, params, data, rnd):
+        n, t, _ = params
+        code = rs_code(n, n - t)
+        shares = code.encode(data)
+        root, witnesses = merkle.build(self.KAPPA, list(shares))
+
+        # the adversary garbles up to t shares in transit:
+        received = list(shares)
+        for i in rnd.sample(range(n), t):
+            garbled = bytearray(received[i])
+            garbled[rnd.randrange(len(garbled))] ^= rnd.randrange(1, 256)
+            received[i] = bytes(garbled)
+
+        accepted = {
+            i: received[i]
+            for i in range(n)
+            if merkle.verify(self.KAPPA, root, i, received[i], witnesses[i])
+        }
+        # every honest share verifies, every garbled share is dropped...
+        assert len(accepted) >= n - t
+        assert all(received[i] == shares[i] for i in accepted)
+        # ...and what survives decodes to the original payload.
+        assert code.decode(accepted) == data
+
+    def test_witness_for_wrong_index_rejected(self):
+        code = rs_code(5, 3)
+        shares = code.encode(b"cross-wired")
+        root, witnesses = merkle.build(self.KAPPA, list(shares))
+        assert not merkle.verify(
+            self.KAPPA, root, 0, shares[1], witnesses[1]
+        )
+        assert not merkle.verify(
+            self.KAPPA, root, 1, shares[0], witnesses[1]
+        )
 
 
 class TestFraming:
