@@ -161,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--case-timeout", type=float, default=None,
                       help="per-case wall-clock budget in seconds; an "
                            "over-budget case becomes a recorded failure")
+    fuzz.add_argument("--crash", action="store_true",
+                      help="also sample the resilience planes: lossy "
+                           "honest links (drop/delay/reorder under the "
+                           "round synchronizer) and crash/restart "
+                           "windows recovered by WAL replay")
     fuzz.add_argument("--quiet", action="store_true",
                       help="only print the final summary")
 
@@ -337,11 +342,17 @@ def _cmd_fuzz(args) -> int:
             progress=progress,
             workers=args.workers,
             case_timeout_s=args.case_timeout,
+            crash=args.crash,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(report.summary())
+    if report.worker_crashes or report.case_timeouts:
+        print(
+            f"engine incidents: {report.worker_crashes} worker "
+            f"crash(es), {report.case_timeouts} case timeout(s)"
+        )
     return 0 if report.clean else 1
 
 

@@ -68,6 +68,8 @@ def convex_agreement(
     adversary: Adversary | None = None,
     ba: Callable[..., Proto[Any]] = phase_king,
     max_rounds: int = 200_000,
+    monitors: Any = (),
+    degrade: bool = False,
 ) -> ConvexAgreementOutcome:
     """Run ``PI_Z`` on integer inputs and return the agreed value.
 
@@ -81,6 +83,13 @@ def convex_agreement(
         ba: the assumed ``PI_BA`` building block (generator function
             ``ba(ctx, value, domain, channel)``).
         max_rounds: safety cap for the simulator.
+        monitors: online invariant monitors
+            (:mod:`repro.sim.invariants`) evaluated during the run.
+        degrade: supervise the execution and, if a monitor fires or the
+            simulation dies, fall back to the self-contained
+            ``HighCostCA`` path so the call still ends with a
+            convex-valid value; the fallback is recorded on
+            ``outcome.execution.fallback``.
 
     Returns:
         A :class:`ConvexAgreementOutcome`; its ``value`` is the common
@@ -105,15 +114,30 @@ def convex_agreement(
     if t is None:
         t = default_threshold(n)
 
-    execution = run_protocol(
-        lambda ctx, v: protocol_z(ctx, v, ba=ba),
-        values,
-        n=n,
-        t=t,
-        kappa=kappa,
-        adversary=adversary,
-        max_rounds=max_rounds,
-    )
+    if degrade:
+        from ..sim.supervisor import run_with_fallback
+
+        execution = run_with_fallback(
+            lambda ctx, v: protocol_z(ctx, v, ba=ba),
+            values,
+            n=n,
+            t=t,
+            kappa=kappa,
+            adversary=adversary,
+            max_rounds=max_rounds,
+            monitors=monitors,
+        )
+    else:
+        execution = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v, ba=ba),
+            values,
+            n=n,
+            t=t,
+            kappa=kappa,
+            adversary=adversary,
+            max_rounds=max_rounds,
+            monitors=monitors,
+        )
     return ConvexAgreementOutcome(
         value=execution.common_output(), execution=execution
     )

@@ -6,9 +6,13 @@ adaptive byzantine adversary, and bit-exact communication accounting --
 plus the robustness layer on top of it: online invariant monitors
 (:mod:`repro.sim.invariants`), a composable fault-injection plane
 (:mod:`repro.sim.faults`), a chaos driver with shrinking repro
-artifacts (:mod:`repro.sim.fuzz`), and a deterministic process-pool
+artifacts (:mod:`repro.sim.fuzz`), a deterministic process-pool
 execution engine that fans independent cases out over workers
-(:mod:`repro.sim.parallel`).
+(:mod:`repro.sim.parallel`), and a resilience layer beneath the round
+abstraction: lossy links with an ack/retransmit round synchronizer
+(:mod:`repro.sim.lossy`), crash-recovery via per-party write-ahead logs
+(:mod:`repro.sim.recovery`), and graceful degradation to the
+self-contained ``HighCostCA`` path (:mod:`repro.sim.supervisor`).
 """
 
 from .adversary import (
@@ -39,6 +43,7 @@ from .invariants import (
     AgreementMonitor,
     BitBudgetMonitor,
     ConvexValidityMonitor,
+    CrashBudgetMonitor,
     InvariantMonitor,
     LockstepMonitor,
     RoundBudgetMonitor,
@@ -46,9 +51,19 @@ from .invariants import (
     paper_bit_budget,
     paper_round_budget,
 )
+from .lossy import ACK_BITS, LossyTransport, TransportTimeout
 from .metrics import CommunicationStats
 from .network import ExecutionResult, SynchronousNetwork, default_round_budget
 from .parallel import CaseOutcome, derive_seed, resolve_workers, run_many
+from .recovery import (
+    CrashEvent,
+    CrashRestartAdversary,
+    RecoveryConfig,
+    RecoveryError,
+    RecoveryManager,
+    WriteAheadLog,
+)
+from .supervisor import FallbackRecord, run_with_fallback
 from .combinators import run_parallel
 from .party import Context, Outgoing, Proto, broadcast_round, exchange
 from .runner import run_protocol
@@ -56,6 +71,7 @@ from .trace import RoundRecord, summarize_trace
 from .sizing import bit_size
 
 __all__ = [
+    "ACK_BITS",
     "DROP",
     "AdaptiveCorruptionAdversary",
     "Adversary",
@@ -66,6 +82,16 @@ __all__ = [
     "Context",
     "ConvexValidityMonitor",
     "CrashAdversary",
+    "CrashBudgetMonitor",
+    "CrashEvent",
+    "CrashRestartAdversary",
+    "FallbackRecord",
+    "LossyTransport",
+    "RecoveryConfig",
+    "RecoveryError",
+    "RecoveryManager",
+    "TransportTimeout",
+    "WriteAheadLog",
     "EquivocatingAdversary",
     "ExecutionResult",
     "FaultInjector",
@@ -101,6 +127,7 @@ __all__ = [
     "paper_round_budget",
     "run_parallel",
     "run_protocol",
+    "run_with_fallback",
     "summarize_trace",
     "standard_adversary_suite",
 ]

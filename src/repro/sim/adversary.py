@@ -76,6 +76,9 @@ class RoundView:
     spec_outgoing: dict[tuple[int, int], Any]
     #: protocol inputs originally assigned to each corrupted party.
     corrupted_inputs: dict[int, Any]
+    #: honest parties currently powered off by the crash plane (they send
+    #: and receive nothing until their scheduled restart + WAL replay).
+    down: frozenset[int] = frozenset()
 
     @property
     def channel(self) -> str:
@@ -92,6 +95,11 @@ class Adversary:
     Subclasses override :meth:`deliver` (whole-round control) or the finer
     :meth:`mutate` hook (per-message control relative to the honest spec).
     """
+
+    #: True when the strategy may crash/restart honest parties -- the
+    #: network only builds the write-ahead-log recovery plane (and pays
+    #: its logging overhead) when an execution can actually need it.
+    has_crash_plane: bool = False
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
@@ -110,6 +118,20 @@ class Adversary:
     def adapt(self, view: RoundView) -> set[int]:
         """Extra parties to corrupt starting next round (adaptive)."""
         return set()
+
+    # -- crash plane ------------------------------------------------------
+    def crash_restarts(self, view: RoundView) -> dict[int, int]:
+        """Honest parties to power off starting next round.
+
+        Returns ``{party: restart_round}``: each party is down from
+        ``view.round_index + 1`` until the start of ``restart_round``,
+        at which point it deterministically replays its write-ahead log
+        (:mod:`repro.sim.recovery`) and rejoins in lockstep.  Crashed
+        honest parties count against the same ``t`` fault budget as
+        byzantine corruptions while they are down; over-budget requests
+        are clipped deterministically and recorded.
+        """
+        return {}
 
     # -- message control --------------------------------------------------
     def deliver(self, view: RoundView) -> dict[tuple[int, int], Any]:

@@ -20,10 +20,18 @@ garble, replay).  This module provides:
   such a script: byte-identical re-execution of a recorded attack,
   independent of the strategies that originally produced it.
 
-All faults act only on messages attributed to corrupted parties: the
-model's authenticated channels mean the adversary (and hence the fault
-plane, which is part of the adversary's power) can never touch honest
-traffic.  Honest-side omissions are modelled by *corrupting* the party.
+Byzantine message faults act only on messages attributed to corrupted
+parties: the model's authenticated channels mean the adversary (and
+hence the fault plane, which is part of the adversary's power) can never
+forge honest traffic.  Two further fault planes ride on the same spec:
+
+* link faults (``link_drop`` / ``link_delay`` / ``link_reorder``) hit
+  *honest* links too, but only below the round abstraction -- they are
+  realised by a :class:`~repro.sim.lossy.LossyTransport` whose
+  synchronizer restores lockstep, so they cost overhead, not safety;
+* crash faults (``crashes``) power honest parties off for chosen round
+  windows; the parties recover via
+  :class:`~repro.sim.recovery.RecoveryManager` WAL replay.
 """
 
 from __future__ import annotations
@@ -97,24 +105,75 @@ class FaultSpec:
     replay: float = 0.0
     links: frozenset[tuple[int, int]] | None = None
     seed: int = 0
+    #: link-fault plane (honest links, handled by ``LossyTransport``).
+    link_drop: float = 0.0
+    link_delay: float = 0.0
+    link_reorder: float = 0.0
+    #: crash plane: ``(party, down_round, up_round)`` windows, realised
+    #: through the adversary's ``crash_restarts`` hook (down_round >= 1).
+    crashes: tuple[tuple[int, int, int], ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("drop", "duplicate", "garble", "replay"):
+        for name in (
+            "drop", "duplicate", "garble", "replay",
+            "link_delay", "link_reorder",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} rate {rate} outside [0, 1]")
+        if not 0.0 <= self.link_drop < 1.0:
+            raise ValueError(
+                f"link_drop rate {self.link_drop} outside [0, 1) -- a "
+                "link dropping everything can never be synchronized"
+            )
+        for event in self.crashes:
+            party, down, up = event
+            if down < 1:
+                raise ValueError(
+                    f"crash {event}: down_round must be >= 1 (crashes "
+                    "fire at round boundaries via the adaptive hook)"
+                )
+            if up <= down:
+                raise ValueError(
+                    f"crash {event}: up_round must exceed down_round"
+                )
+            if party < 0:
+                raise ValueError(f"crash {event}: party must be >= 0")
 
     @property
     def is_noop(self) -> bool:
-        """True when no fault can ever fire."""
-        return not (self.drop or self.duplicate or self.garble or self.replay)
+        """True when no fault (on any plane) can ever fire."""
+        return not (
+            self.drop or self.duplicate or self.garble or self.replay
+            or self.has_link_faults or self.has_crashes
+        )
+
+    @property
+    def has_message_faults(self) -> bool:
+        """True when the byzantine message-fault axes are active."""
+        return bool(self.drop or self.duplicate or self.garble or self.replay)
+
+    @property
+    def has_link_faults(self) -> bool:
+        """True when the spec carries honest-link fault axes."""
+        return bool(self.link_drop or self.link_delay or self.link_reorder)
+
+    @property
+    def has_crashes(self) -> bool:
+        """True when the spec schedules crash/restart windows."""
+        return bool(self.crashes)
 
     def describe(self) -> str:
         active = [
             f"{name}={getattr(self, name)}"
-            for name in ("drop", "duplicate", "garble", "replay")
+            for name in (
+                "drop", "duplicate", "garble", "replay",
+                "link_drop", "link_delay", "link_reorder",
+            )
             if getattr(self, name)
         ]
+        if self.crashes:
+            active.append(f"crashes={len(self.crashes)}")
         scope = "all" if self.links is None else f"{len(self.links)} links"
         return f"FaultSpec({', '.join(active) or 'noop'}, links={scope})"
 
@@ -130,6 +189,10 @@ class FaultSpec:
                 else sorted([s, d] for s, d in self.links)
             ),
             "seed": self.seed,
+            "link_drop": self.link_drop,
+            "link_delay": self.link_delay,
+            "link_reorder": self.link_reorder,
+            "crashes": [list(event) for event in self.crashes],
         }
 
     @classmethod
@@ -145,6 +208,12 @@ class FaultSpec:
                 else frozenset((s, d) for s, d in links)
             ),
             seed=data.get("seed", 0),
+            link_drop=data.get("link_drop", 0.0),
+            link_delay=data.get("link_delay", 0.0),
+            link_reorder=data.get("link_reorder", 0.0),
+            crashes=tuple(
+                tuple(event) for event in data.get("crashes", ())
+            ),
         )
 
     def reseeded(self, seed: int) -> "FaultSpec":
@@ -212,6 +281,9 @@ class ComposedAdversary(Adversary):
       The merged traffic then passes through the fault injector.
     * Adaptive corruptions: the union of the parts' ``adapt`` sets
       (the network clips to budget and records any clipping).
+    * Crashes: the union of the parts' ``crash_restarts`` requests plus
+      the spec's declarative ``crashes`` windows (the network clips to
+      the shared ``t`` budget and records any clipping).
     """
 
     def __init__(
@@ -228,9 +300,12 @@ class ComposedAdversary(Adversary):
         self.faults = faults
         self.initial = None if initial is None else set(initial)
         self._injector = (
-            None if faults is None or faults.is_noop
+            None if faults is None or not faults.has_message_faults
             else FaultInjector(faults)
         )
+        self.has_crash_plane = any(
+            getattr(part, "has_crash_plane", False) for part in parts
+        ) or bool(faults is not None and faults.has_crashes)
 
     def select_corruptions(self, n: int, t: int) -> set[int]:
         if self.initial is not None:
@@ -253,6 +328,16 @@ class ComposedAdversary(Adversary):
         if self._injector is not None:
             merged = self._injector.apply(merged)
         return merged
+
+    def crash_restarts(self, view: RoundView) -> dict[int, int]:
+        due: dict[int, int] = {}
+        if self.faults is not None:
+            for party, down, up in self.faults.crashes:
+                if down == view.round_index + 1:
+                    due[party] = up
+        for part in self.parts:
+            due.update(part.crash_restarts(view))
+        return due
 
     def describe(self) -> str:
         inner = "+".join(part.describe() for part in self.parts)
@@ -278,6 +363,9 @@ class RecordingAdversary(Adversary):
         self.script: dict[tuple[int, int, int], Any] = {}
         self.adapt_schedule: list[tuple[int, int]] = []
         self.initial_corruptions: set[int] = set()
+        #: ``(party, down_round, up_round)`` crash requests observed.
+        self.crash_schedule: list[tuple[int, int, int]] = []
+        self.has_crash_plane = getattr(inner, "has_crash_plane", False)
 
     def select_corruptions(self, n: int, t: int) -> set[int]:
         self.initial_corruptions = set(self.inner.select_corruptions(n, t))
@@ -297,6 +385,14 @@ class RecordingAdversary(Adversary):
             self.script[(view.round_index, src, dst)] = payload
         return dict(messages)
 
+    def crash_restarts(self, view: RoundView) -> dict[int, int]:
+        due = self.inner.crash_restarts(view)
+        for party in sorted(due):
+            entry = (party, view.round_index + 1, due[party])
+            if entry not in self.crash_schedule:
+                self.crash_schedule.append(entry)
+        return dict(due)
+
     def describe(self) -> str:
         return f"Recording[{self.inner.describe()}]"
 
@@ -315,11 +411,14 @@ class ReplayAdversary(ScriptedAdversary):
         initial_corruptions: set[int],
         adapt_schedule: list[tuple[int, int]] | None = None,
         seed: int = 0,
+        crash_schedule: list[tuple[int, int, int]] | None = None,
     ) -> None:
         self.script = dict(script)
         self.initial_corruptions = set(initial_corruptions)
         self.adapt_schedule = list(adapt_schedule or [])
+        self.crash_schedule = list(crash_schedule or [])
         super().__init__(self._lookup, seed=seed)
+        self.has_crash_plane = bool(self.crash_schedule)
 
     def _lookup(self, view: RoundView, src: int, dst: int, spec: Any) -> Any:
         return self.script.get((view.round_index, src, dst), DROP)
@@ -335,8 +434,16 @@ class ReplayAdversary(ScriptedAdversary):
             and party not in view.corrupted
         }
 
+    def crash_restarts(self, view: RoundView) -> dict[int, int]:
+        return {
+            party: up
+            for party, down, up in self.crash_schedule
+            if down == view.round_index + 1
+        }
+
     def describe(self) -> str:
         return (
             f"ReplayAdversary({len(self.script)} messages, "
-            f"{len(self.adapt_schedule)} adaptive)"
+            f"{len(self.adapt_schedule)} adaptive, "
+            f"{len(self.crash_schedule)} crashes)"
         )

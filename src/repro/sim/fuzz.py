@@ -55,6 +55,7 @@ from .adversary import (
 )
 from .faults import ComposedAdversary, FaultSpec, RecordingAdversary, \
     ReplayAdversary
+from .lossy import LossyTransport
 from .invariants import (
     AgreementMonitor,
     BitBudgetMonitor,
@@ -329,12 +330,25 @@ class FuzzCase:
 
 _SPREADS = ("spread", "clustered", "identical")
 _FAULT_RATES = (0.0, 0.05, 0.2, 0.5)
+#: honest-link loss rates stay < 1 (the synchronizer must converge) and
+#: modest (every drop costs simulated backoff slots).
+_LINK_RATES = (0.0, 0.05, 0.2)
 
 
 def sample_case(
-    rng: random.Random, registry: dict[str, ProtocolSpec]
+    rng: random.Random,
+    registry: dict[str, ProtocolSpec],
+    crash: bool = False,
 ) -> FuzzCase:
-    """Draw one chaos configuration from the campaign distribution."""
+    """Draw one chaos configuration from the campaign distribution.
+
+    ``crash=True`` additionally samples the resilience-plane axes:
+    honest-link drop/delay/reorder rates (realised by a
+    ``LossyTransport``) and up to ``t`` crash/restart windows for honest
+    parties (realised by WAL replay).  The extra draws are gated on the
+    flag, so ``crash=False`` campaigns sample exactly the same cases as
+    before the crash plane existed.
+    """
     name = rng.choice(sorted(registry))
     spec = registry[name]
     n = rng.choice((4, 5, 6, 7))
@@ -344,12 +358,34 @@ def sample_case(
     adversaries = tuple(
         rng.choice(sorted(ADVERSARY_CATALOG)) for _ in range(count)
     )
+    drop = rng.choice(_FAULT_RATES)
+    duplicate = rng.choice(_FAULT_RATES)
+    garble = rng.choice(_FAULT_RATES)
+    replay = rng.choice(_FAULT_RATES)
+    fault_seed = rng.getrandbits(32)
+    link_drop = link_delay = link_reorder = 0.0
+    crashes: tuple[tuple[int, int, int], ...] = ()
+    if crash:
+        link_drop = rng.choice(_LINK_RATES)
+        link_delay = rng.choice(_LINK_RATES)
+        link_reorder = rng.choice(_FAULT_RATES)
+        windows: dict[int, tuple[int, int, int]] = {}
+        for _ in range(rng.randint(0, t)):
+            party = rng.randrange(n)
+            down = rng.randint(1, 10)
+            up = down + rng.randint(1, 5)
+            windows[party] = (party, down, up)
+        crashes = tuple(windows[party] for party in sorted(windows))
     faults = FaultSpec(
-        drop=rng.choice(_FAULT_RATES),
-        duplicate=rng.choice(_FAULT_RATES),
-        garble=rng.choice(_FAULT_RATES),
-        replay=rng.choice(_FAULT_RATES),
-        seed=rng.getrandbits(32),
+        drop=drop,
+        duplicate=duplicate,
+        garble=garble,
+        replay=replay,
+        seed=fault_seed,
+        link_drop=link_drop,
+        link_delay=link_delay,
+        link_reorder=link_reorder,
+        crashes=crashes,
     )
     return FuzzCase(
         protocol=name,
@@ -368,6 +404,7 @@ def sample_case_at(
     campaign_seed: int,
     index: int,
     registry: dict[str, ProtocolSpec],
+    crash: bool = False,
 ) -> FuzzCase:
     """Case ``index`` of the campaign with seed ``campaign_seed``.
 
@@ -378,7 +415,7 @@ def sample_case_at(
     campaigns replicate serial ones exactly.
     """
     rng = random.Random(derive_seed(campaign_seed, index))
-    return sample_case(rng, registry)
+    return sample_case(rng, registry, crash=crash)
 
 
 def case_inputs(case: FuzzCase) -> list[int]:
@@ -428,6 +465,22 @@ def case_monitors(case: FuzzCase, spec: ProtocolSpec) -> list[InvariantMonitor]:
     ]
 
 
+def _max_concurrent_crashes(
+    crashes: tuple[tuple[int, int, int], ...]
+) -> int:
+    """Peak number of simultaneously-down parties a schedule requests."""
+    events: list[tuple[int, int]] = []
+    for _, down, up in crashes:
+        events.append((down, 1))
+        events.append((up, -1))
+    events.sort()
+    current = peak = 0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak
+
+
 def _build_adversary(case: FuzzCase) -> RecordingAdversary:
     parts = [
         ADVERSARY_CATALOG[name](case.seed + index)
@@ -436,6 +489,16 @@ def _build_adversary(case: FuzzCase) -> RecordingAdversary:
     composed = ComposedAdversary(
         parts, faults=case.faults, seed=case.seed
     )
+    if case.faults.has_crashes:
+        # Crashed-down parties share the t budget with corruptions;
+        # reserve headroom for the schedule's peak so the crashes
+        # actually fire instead of being clipped at runtime.
+        reserve = _max_concurrent_crashes(case.faults.crashes)
+        budget = max(0, case.t - reserve)
+        union: set[int] = set()
+        for part in parts:
+            union |= part.select_corruptions(case.n, case.t)
+        composed.initial = set(sorted(union)[:budget])
     return RecordingAdversary(composed)
 
 
@@ -450,6 +513,7 @@ class FuzzFailure:
     initial_corruptions: set[int]
     script: dict[tuple[int, int, int], Any]
     adapt_schedule: list[tuple[int, int]]
+    crash_schedule: list[tuple[int, int, int]] = field(default_factory=list)
     shrunk: bool = False
     shrink_runs: int = 0
     original_script_size: int = 0
@@ -467,16 +531,30 @@ class FuzzReport:
     #: worker processes the campaign ran on (reporting only: the report
     #: content is independent of it by construction).
     workers: int = 1
+    #: the campaign sampled the crash/link resilience axes too.
+    crash: bool = False
+    #: execution-engine incidents: cases whose worker process died, and
+    #: cases that exceeded the per-case time budget.  Both also appear
+    #: as ``ExecutionEngine`` failures; the counts make the engine's
+    #: health visible at a glance in the summary and CLI output.
+    worker_crashes: int = 0
+    case_timeouts: int = 0
 
     @property
     def clean(self) -> bool:
         return not self.failures
 
     def summary(self) -> str:
+        crash_tag = ", crash plane" if self.crash else ""
         lines = [
-            f"fuzz campaign: {self.runs} runs, seed {self.seed}, "
-            f"{len(self.failures)} failure(s)"
+            f"fuzz campaign: {self.runs} runs, seed {self.seed}"
+            f"{crash_tag}, {len(self.failures)} failure(s)"
         ]
+        if self.worker_crashes or self.case_timeouts:
+            lines.append(
+                f"  engine: {self.worker_crashes} worker crash(es), "
+                f"{self.case_timeouts} case timeout(s)"
+            )
         for index, failure in enumerate(self.failures):
             path = (
                 self.artifacts[index] if index < len(self.artifacts) else None
@@ -513,6 +591,9 @@ def _execute(
         max_rounds=2 * spec.round_budget(case.n, case.t, case.ell) + 64,
         trace=True,
         monitors=case_monitors(case, spec),
+        # link faults ride below the round abstraction; None on specs
+        # without link axes, so non-crash campaigns are untouched.
+        transport=LossyTransport.from_spec(case.faults),
     )
     network.run()
 
@@ -536,6 +617,7 @@ def run_case(
             initial_corruptions=set(adversary.initial_corruptions),
             script=dict(adversary.script),
             adapt_schedule=list(adversary.adapt_schedule),
+            crash_schedule=list(adversary.crash_schedule),
             original_script_size=len(adversary.script),
         )
     except SimulationError as error:
@@ -547,6 +629,7 @@ def run_case(
             initial_corruptions=set(adversary.initial_corruptions),
             script=dict(adversary.script),
             adapt_schedule=list(adversary.adapt_schedule),
+            crash_schedule=list(adversary.crash_schedule),
             original_script_size=len(adversary.script),
         )
     return None
@@ -562,12 +645,18 @@ def _replays_same(
     spec: ProtocolSpec,
     script_keys: list[tuple[int, int, int]],
     schedule: list[tuple[int, int]],
+    crash_schedule: list[tuple[int, int, int]] | None = None,
 ) -> bool:
     """Does the reduced script still trigger the same violation kind?"""
     adversary = ReplayAdversary(
         {key: failure.script[key] for key in script_keys},
         failure.initial_corruptions,
         schedule,
+        crash_schedule=(
+            failure.crash_schedule
+            if crash_schedule is None
+            else crash_schedule
+        ),
     )
     try:
         _execute(failure.case, spec, failure.inputs, adversary)
@@ -618,15 +707,27 @@ def shrink_failure(
     budget = [max_runs]
 
     schedule = list(failure.adapt_schedule)
+    crash_schedule = list(failure.crash_schedule)
     keys = sorted(failure.script)
     keys = _ddmin(
         keys,
-        lambda candidate: _replays_same(failure, spec, candidate, schedule),
+        lambda candidate: _replays_same(
+            failure, spec, candidate, schedule, crash_schedule
+        ),
         budget,
     )
     schedule = _ddmin(
         schedule,
-        lambda candidate: _replays_same(failure, spec, keys, candidate),
+        lambda candidate: _replays_same(
+            failure, spec, keys, candidate, crash_schedule
+        ),
+        budget,
+    )
+    crash_schedule = _ddmin(
+        crash_schedule,
+        lambda candidate: _replays_same(
+            failure, spec, keys, schedule, candidate
+        ),
         budget,
     )
     return FuzzFailure(
@@ -637,6 +738,7 @@ def shrink_failure(
         initial_corruptions=failure.initial_corruptions,
         script={key: failure.script[key] for key in keys},
         adapt_schedule=schedule,
+        crash_schedule=crash_schedule,
         shrunk=True,
         shrink_runs=max_runs - budget[0],
         original_script_size=failure.original_script_size,
@@ -657,6 +759,9 @@ def failure_to_artifact(failure: FuzzFailure) -> dict:
         "inputs": [str(v) for v in failure.inputs],
         "initial_corruptions": sorted(failure.initial_corruptions),
         "adapt_schedule": [[r, p] for r, p in failure.adapt_schedule],
+        "crash_schedule": [
+            [p, d, u] for p, d, u in failure.crash_schedule
+        ],
         "script": [
             [r, s, d, encode_payload(failure.script[(r, s, d)])]
             for r, s, d in sorted(failure.script)
@@ -721,6 +826,9 @@ def replay_artifact(
         },
         set(artifact["initial_corruptions"]),
         [(r, p) for r, p in artifact["adapt_schedule"]],
+        crash_schedule=[
+            (p, d, u) for p, d, u in artifact.get("crash_schedule", ())
+        ],
     )
     try:
         _execute(case, spec, inputs, adversary)
@@ -756,9 +864,10 @@ def _run_campaign_case(
     registry: dict[str, ProtocolSpec],
     shrink: bool,
     max_shrink_runs: int,
+    crash: bool = False,
 ) -> FuzzFailure | None:
     """Sample, execute, and (on failure) shrink one campaign case."""
-    case = sample_case_at(campaign_seed, index, registry)
+    case = sample_case_at(campaign_seed, index, registry, crash=crash)
     failure = run_case(case, registry)
     if failure is not None and shrink:
         failure = shrink_failure(failure, registry, max_runs=max_shrink_runs)
@@ -781,6 +890,7 @@ def _campaign_worker(task: dict) -> FuzzFailure | None:
         registry,
         task["shrink"],
         task["max_shrink_runs"],
+        crash=task.get("crash", False),
     )
 
 
@@ -796,8 +906,15 @@ def fuzz(
     workers: int | str | None = 1,
     registry_builder: Callable[[], dict[str, ProtocolSpec]] | None = None,
     case_timeout_s: float | None = None,
+    crash: bool = False,
 ) -> FuzzReport:
     """Run a chaos campaign of ``runs`` sampled configurations.
+
+    ``crash=True`` widens the sampled fault space with the resilience
+    planes: lossy honest links (drop/delay/reorder under the round
+    synchronizer) and crash/restart windows for honest parties (WAL
+    replay on rejoin), composed with the usual byzantine strategies and
+    message faults.
 
     Every run executes one sampled case under the full monitor stack;
     failures are shrunk (unless ``shrink=False``) and, when
@@ -827,11 +944,14 @@ def fuzz(
         # deterministic either way, it just cannot leave this process.
         worker_count = 1
 
-    report = FuzzReport(runs=runs, seed=seed, workers=worker_count)
+    report = FuzzReport(
+        runs=runs, seed=seed, workers=worker_count, crash=crash
+    )
     if worker_count == 1:
         outcomes = [
             _run_campaign_case(
-                index, seed, parent_registry, shrink, max_shrink_runs
+                index, seed, parent_registry, shrink, max_shrink_runs,
+                crash=crash,
             )
             for index in range(runs)
         ]
@@ -845,6 +965,7 @@ def fuzz(
                 "shrink": shrink,
                 "max_shrink_runs": max_shrink_runs,
                 "registry_builder": builder,
+                "crash": crash,
             }
             for index in range(runs)
         ]
@@ -860,9 +981,19 @@ def fuzz(
             for outcome in collected
             if not outcome.ok
         }
+        report.worker_crashes = sum(
+            1
+            for outcome in collected
+            if outcome.error_type == "WorkerCrash"
+        )
+        report.case_timeouts = sum(
+            1
+            for outcome in collected
+            if outcome.error_type == "CaseTimeout"
+        )
 
     for index in range(runs):
-        case = sample_case_at(seed, index, parent_registry)
+        case = sample_case_at(seed, index, parent_registry, crash=crash)
         if progress is not None:
             progress(index, case)
         report.cases.append(case)

@@ -44,6 +44,7 @@ __all__ = [
     "InvariantMonitor",
     "AgreementMonitor",
     "ConvexValidityMonitor",
+    "CrashBudgetMonitor",
     "LockstepMonitor",
     "BitBudgetMonitor",
     "RoundBudgetMonitor",
@@ -198,6 +199,27 @@ class LockstepMonitor(InvariantMonitor):
             )
 
 
+class CrashBudgetMonitor(InvariantMonitor):
+    """Corrupted plus crashed-down parties must never exceed ``t``.
+
+    A down honest party is an omission fault, weaker than a byzantine
+    one, so the model's guarantees only hold while the *combined* fault
+    count stays within the corruption bound.  The network enforces this
+    by clipping; the monitor asserts the enforcement held on every
+    recorded round (defense in depth for new fault planes).
+    """
+
+    def on_round(self, record, network) -> None:
+        combined = len(record.corrupted) + len(record.down_parties)
+        if combined > network.t:
+            self.fail(
+                f"round {record.round_index}: {len(record.corrupted)} "
+                f"corrupted + {len(record.down_parties)} down parties "
+                f"exceed t={network.t}",
+                record=record,
+            )
+
+
 class BitBudgetMonitor(InvariantMonitor):
     """Honest communication must stay inside a bit-budget envelope.
 
@@ -273,6 +295,7 @@ def default_monitors(
         LockstepMonitor(),
         AgreementMonitor(),
         ConvexValidityMonitor(),
+        CrashBudgetMonitor(),
     ]
     if bit_budget is not None or per_channel:
         monitors.append(BitBudgetMonitor(bit_budget, per_channel))

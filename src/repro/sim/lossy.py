@@ -1,0 +1,242 @@
+"""Lossy links and the round synchronizer that hides them.
+
+The paper's model (Section 2) assumes guaranteed delivery within one
+round.  Real links drop, delay, and reorder.  This module closes the
+gap with the classic construction: a :class:`LossyTransport` subjects
+every honest point-to-point message to a *seeded* drop/delay/reorder
+schedule, and a round synchronizer restores the lockstep abstraction on
+top of it --
+
+* every payload carries an implicit ``(round, sender)`` sequence tag and
+  is acknowledged by the receiver (acks traverse the same lossy link);
+* unacknowledged copies are retransmitted with exponential backoff
+  (attempt ``k`` waits ``min(2^k, max_backoff)`` slots);
+* a per-round slot budget bounds how long the synchronizer waits; an
+  exhausted budget raises :class:`TransportTimeout`, which the network
+  surfaces as a :class:`~repro.errors.SimulationError` with partial
+  state.
+
+Protocols run **unmodified** on top: the synchronizer guarantees that
+the logical inbox of every round is exactly what a perfect network
+would have delivered, so executions over a lossy transport are
+*byte-identical* to perfect-network executions in their outputs and
+protocol-level communication stats.  The price of the resilience shows
+up separately -- retransmitted copies, ack frames, and physical slots
+are accounted in the ``retrans_*`` / ``ack_*`` / ``transport_slots``
+fields of :class:`~repro.sim.metrics.CommunicationStats`, never in the
+paper's ``honest_bits``.
+
+Determinism: all coins come from one :class:`random.Random` per round,
+seeded by ``H(seed, round)``, consumed in sorted link order -- the same
+schedule replays on any worker, which is what keeps lossy executions
+inside the engine's serial/parallel conformance contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+from ..errors import ConfigurationError, ReproError
+from .metrics import CommunicationStats
+from .sizing import bit_size
+
+__all__ = ["ACK_BITS", "LossyTransport", "TransportTimeout"]
+
+#: Size of one acknowledgement frame: a (round, sender) sequence tag
+#: plus a few flag bits -- deliberately tiny, like a TCP pure-ACK.
+ACK_BITS = 40
+
+
+class TransportTimeout(ReproError):
+    """The synchronizer exhausted its slot budget for one round."""
+
+
+class _Flight:
+    """One in-flight payload on one link, until acknowledged."""
+
+    __slots__ = ("payload", "bits", "attempts", "due")
+
+    def __init__(self, payload: Any, bits: int) -> None:
+        self.payload = payload
+        self.bits = bits
+        self.attempts = 0
+        self.due = 0
+
+
+class LossyTransport:
+    """Seeded lossy link schedules + ack/retransmit round synchronizer.
+
+    Args:
+        drop: per-copy probability a transmitted frame (payload *or*
+            ack) is lost; must be ``< 1`` or no round could ever
+            complete.
+        delay: per-copy probability a surviving payload arrives one
+            slot late instead of in its transmission slot.
+        reorder: given a delayed copy, probability it is delayed by
+            extra jitter slots as well -- copies of different messages
+            can then arrive in an order unrelated to their send order.
+        seed: deterministic schedule seed.
+        slot_budget: maximum physical slots simulated per logical
+            round before :class:`TransportTimeout`.
+        max_backoff: cap on the exponential retransmission backoff.
+        links: restrict faults to these ``(src, dst)`` links
+            (``None`` = every link); non-listed links still pay ack
+            accounting but never drop or delay.
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        reorder: float = 0.0,
+        seed: int = 0,
+        slot_budget: int = 256,
+        max_backoff: int = 16,
+        links: frozenset[tuple[int, int]] | None = None,
+    ) -> None:
+        for name, rate in (("delay", delay), ("reorder", reorder)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} rate {rate} outside [0, 1]"
+                )
+        if not 0.0 <= drop < 1.0:
+            raise ConfigurationError(
+                f"drop rate {drop} outside [0, 1) -- a link that drops "
+                "everything can never be synchronized"
+            )
+        if slot_budget < 1:
+            raise ConfigurationError("slot_budget must be positive")
+        if max_backoff < 1:
+            raise ConfigurationError("max_backoff must be positive")
+        self.drop = drop
+        self.delay = delay
+        self.reorder = reorder
+        self.seed = seed
+        self.slot_budget = slot_budget
+        self.max_backoff = max_backoff
+        self.links = links
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: Any) -> "LossyTransport | None":
+        """Build a transport from a :class:`~repro.sim.faults.FaultSpec`.
+
+        Returns ``None`` when the spec carries no link-fault axes.  The
+        transport seed is derived from (not equal to) the spec seed so
+        the link schedule never correlates with the byzantine fault
+        injector's stream.
+        """
+        if not getattr(spec, "has_link_faults", False):
+            return None
+        return cls(
+            drop=spec.link_drop,
+            delay=spec.link_delay,
+            reorder=spec.link_reorder,
+            seed=_derive("lossy-from-spec", spec.seed),
+            links=spec.links,
+        )
+
+    def describe(self) -> str:
+        active = [
+            f"{name}={value}"
+            for name, value in (
+                ("drop", self.drop),
+                ("delay", self.delay),
+                ("reorder", self.reorder),
+            )
+            if value
+        ]
+        return f"LossyTransport({', '.join(active) or 'perfect'})"
+
+    # ------------------------------------------------------------------
+    def _lossy(self, link: tuple[int, int]) -> bool:
+        return self.links is None or link in self.links
+
+    def _backoff(self, attempts: int) -> int:
+        return min(2 ** attempts, self.max_backoff)
+
+    def synchronize(
+        self,
+        round_index: int,
+        messages: dict[tuple[int, int], Any],
+        stats: CommunicationStats,
+    ) -> int:
+        """Simulate one logical round's slots until every payload is acked.
+
+        ``messages`` is the honest traffic of the round keyed by
+        ``(src, dst)``; loopback links (``src == dst``) never touch the
+        wire.  Returns the number of physical slots simulated and
+        accounts every retransmitted copy and ack frame on ``stats``.
+
+        Raises:
+            TransportTimeout: the slot budget ran out with payloads
+                still unacknowledged.
+        """
+        pending: dict[tuple[int, int], _Flight] = {}
+        for link in sorted(messages):
+            src, dst = link
+            if src == dst:
+                continue
+            pending[link] = _Flight(messages[link], bit_size(messages[link]))
+        if not pending:
+            return 0
+
+        rng = random.Random(_derive("lossy-round", self.seed, round_index))
+        #: slot -> links whose payload copy arrives then (ack pending).
+        arrivals: dict[int, list[tuple[int, int]]] = {}
+        slots_used = 0
+        for slot in range(self.slot_budget):
+            if not pending:
+                break
+            slots_used = slot + 1
+
+            # 1. transmissions due this slot (first copies and backoffs).
+            for link in sorted(pending):
+                flight = pending[link]
+                if flight.due != slot:
+                    continue
+                flight.attempts += 1
+                if flight.attempts > 1:
+                    stats.record_retransmit(flight.bits)
+                if self._lossy(link) and rng.random() < self.drop:
+                    flight.due = slot + self._backoff(flight.attempts)
+                    continue
+                arrival = slot
+                if (
+                    self._lossy(link)
+                    and self.delay
+                    and rng.random() < self.delay
+                ):
+                    arrival += 1
+                    if self.reorder and rng.random() < self.reorder:
+                        arrival += rng.randrange(1, 4)
+                arrivals.setdefault(arrival, []).append(link)
+
+            # 2. arrivals: receiver acks; a lost ack keeps the flight
+            # pending, so the sender backs off and retransmits.
+            for link in sorted(arrivals.pop(slot, ())):
+                flight = pending.get(link)
+                if flight is None:
+                    continue  # duplicate copy of an already-acked payload
+                stats.record_ack(ACK_BITS)
+                if self._lossy(link) and rng.random() < self.drop:
+                    flight.due = slot + self._backoff(flight.attempts)
+                    continue
+                del pending[link]
+
+        stats.record_slots(slots_used)
+        if pending:
+            raise TransportTimeout(
+                f"round {round_index}: {len(pending)} payload(s) still "
+                f"unacknowledged after {self.slot_budget} slots "
+                f"(drop={self.drop}, delay={self.delay})"
+            )
+        return slots_used
+
+
+def _derive(label: str, *parts: int) -> int:
+    """Deterministic 63-bit sub-seed from a label and integer parts."""
+    material = "/".join([label, *map(str, parts)]).encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big") >> 1

@@ -5,6 +5,13 @@ parties; :class:`CommunicationStats` tracks exactly that, with per-channel
 and per-party breakdowns so benchmarks can attribute cost to individual
 subprotocols (e.g. how much of a `PI_Z` run was spent inside `PI_lBA+`'s
 distributing step versus the underlying `PI_BA` invocations).
+
+When an execution runs over a :class:`~repro.sim.lossy.LossyTransport`,
+the synchronizer's overhead -- retransmitted copies, acknowledgement
+frames, and the physical transmission slots spent restoring lockstep --
+is accounted *separately* from the protocol's own ``honest_bits``, so
+the paper's ``BITS_l(PI)`` figure stays comparable across perfect and
+lossy links while the resilience overhead remains measurable.
 """
 
 from __future__ import annotations
@@ -35,6 +42,18 @@ class CommunicationStats:
     messages_by_channel: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: resilience-layer overhead (lossy transport + crash recovery):
+    #: retransmitted honest copies beyond the first transmission, and the
+    #: acknowledgement frames of the round synchronizer.  Deliberately
+    #: NOT folded into ``honest_bits`` -- the paper's ``BITS_l(PI)``
+    #: counts the protocol, not the link layer underneath it.
+    retrans_bits: int = 0
+    retrans_messages: int = 0
+    ack_bits: int = 0
+    ack_messages: int = 0
+    #: physical transmission slots the round synchronizer simulated on
+    #: top of the logical rounds (0 on a perfect network).
+    transport_slots: int = 0
 
     def record_send(self, sender: int, channel: str, bits: int) -> None:
         """Account one honest point-to-point message of ``bits`` bits."""
@@ -47,6 +66,25 @@ class CommunicationStats:
     def record_round(self) -> None:
         """Account one simulated round (or async scheduler step)."""
         self.rounds += 1
+
+    def record_retransmit(self, bits: int) -> None:
+        """Account one retransmitted copy of an honest payload."""
+        self.retrans_bits += bits
+        self.retrans_messages += 1
+
+    def record_ack(self, bits: int) -> None:
+        """Account one acknowledgement frame of the round synchronizer."""
+        self.ack_bits += bits
+        self.ack_messages += 1
+
+    def record_slots(self, slots: int) -> None:
+        """Account ``slots`` physical transmission slots for one round."""
+        self.transport_slots += slots
+
+    @property
+    def resilience_overhead_bits(self) -> int:
+        """Total link-layer bits spent restoring the lockstep abstraction."""
+        return self.retrans_bits + self.ack_bits
 
     def channel_report(self) -> list[tuple[str, int, int]]:
         """Return ``(channel, bits, messages)`` rows sorted by bits desc."""

@@ -24,6 +24,20 @@ budget from the paper's round complexity (``O(n log n)`` with a
 instead of a flat constant, so non-terminating executions are diagnosed
 in seconds; the resulting :class:`~repro.errors.SimulationError` carries
 the partial trace, stats, and any outputs produced so far.
+
+Resilience planes (both optional, zero-cost when absent):
+
+* ``transport`` -- a :class:`~repro.sim.lossy.LossyTransport` simulates
+  drop/delay/reorder on honest links plus the ack/retransmit round
+  synchronizer that restores lockstep; its overhead lands in the
+  ``retrans_*``/``ack_*`` stats fields, never in ``honest_bits``.
+* crash/recovery -- a declarative ``crashes`` schedule and/or an
+  adversary with a crash plane powers honest parties off for chosen
+  round windows; a :class:`~repro.sim.recovery.RecoveryManager` logs
+  every delivered inbox to per-party write-ahead logs, parks traffic
+  addressed to down parties, and deterministically replays a restarting
+  party back to the current round.  Down parties count against the same
+  ``t`` budget as byzantine corruptions while down.
 """
 
 from __future__ import annotations
@@ -37,8 +51,10 @@ from typing import Any, Callable, Sequence
 from ..errors import ConfigurationError, ProtocolViolation, SimulationError
 from .adversary import Adversary, PassiveAdversary, RoundView
 from .invariants import InvariantMonitor
+from .lossy import LossyTransport, TransportTimeout
 from .metrics import CommunicationStats
 from .party import Context, Outgoing, Proto
+from .recovery import CrashEvent, RecoveryConfig, RecoveryManager
 from .sizing import bit_size
 from .trace import RoundRecord
 
@@ -81,6 +97,19 @@ class ExecutionResult:
     #: ``(round_index, party)`` adaptive corruptions requested by the
     #: adversary but clipped by the ``t`` budget (over-powered config).
     clipped_corruptions: list[tuple[int, int]] = field(default_factory=list)
+    #: crash-plane event log: ``("down" | "up", round_index, party)`` in
+    #: the order the events took effect.
+    crash_log: list[tuple[str, int, int]] = field(default_factory=list)
+    #: ``(round_index, party)`` crash requests clipped by the shared
+    #: ``t`` budget (corrupted + down parties never exceed ``t``).
+    clipped_crashes: list[tuple[int, int]] = field(default_factory=list)
+    #: number of WAL replays performed by the recovery manager.
+    recoveries: int = 0
+    #: set by the degradation supervisor when this result was produced
+    #: by the HighCostCA fallback path (a
+    #: :class:`~repro.sim.supervisor.FallbackRecord`); ``None`` on the
+    #: primary path.
+    fallback: Any = None
 
     @property
     def honest_parties(self) -> list[int]:
@@ -149,6 +178,9 @@ class SynchronousNetwork:
         max_rounds: int | None = None,
         trace: bool = False,
         monitors: Sequence[InvariantMonitor] = (),
+        transport: LossyTransport | None = None,
+        crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
+        recovery: RecoveryConfig | bool | None = None,
     ) -> None:
         if isinstance(inputs, list):
             inputs = dict(enumerate(inputs))
@@ -176,6 +208,47 @@ class SynchronousNetwork:
             )
         if any(not 0 <= p < n for p in self.corrupted):
             raise ConfigurationError("corruption set out of range")
+
+        self.transport = transport
+        declared = [
+            event if isinstance(event, CrashEvent) else CrashEvent(*event)
+            for event in (crashes or ())
+        ]
+        for event in declared:
+            if not 0 <= event.party < n:
+                raise ConfigurationError(
+                    f"crash schedule names party {event.party}, "
+                    f"outside 0..{n - 1}"
+                )
+        #: declarative crash windows keyed by their down round.
+        self._declared_crashes: dict[int, dict[int, int]] = {}
+        for event in declared:
+            self._declared_crashes.setdefault(event.down, {})[
+                event.party
+            ] = event.up
+        wants_recovery = bool(
+            recovery
+            or declared
+            or getattr(self.adversary, "has_crash_plane", False)
+        )
+        self._recovery = (
+            RecoveryManager(
+                protocol_factory,
+                self.inputs,
+                n,
+                t,
+                kappa,
+                recovery if isinstance(recovery, RecoveryConfig) else None,
+            )
+            if wants_recovery
+            else None
+        )
+        #: honest parties currently powered off (crash plane).
+        self.down: set[int] = set()
+        #: restart round -> parties whose WAL replays at its start.
+        self._restart_at: dict[int, set[int]] = {}
+        self.crash_log: list[tuple[str, int, int]] = []
+        self.clipped_crashes: list[tuple[int, int]] = []
 
         self.stats = CommunicationStats()
         self.channel_trace: list[str] = []
@@ -228,6 +301,9 @@ class SynchronousNetwork:
             channel_trace=self.channel_trace,
             trace=self.trace,
             clipped_corruptions=list(self.clipped_corruptions),
+            crash_log=list(self.crash_log),
+            clipped_crashes=list(self.clipped_crashes),
+            recoveries=self._recovery.recoveries if self._recovery else 0,
         )
         for monitor in self.monitors:
             self._monitored(monitor.on_finish, result, self)
@@ -288,10 +364,86 @@ class SynchronousNetwork:
             )
         return outgoing
 
+    # -- crash plane ---------------------------------------------------
+    def _process_restarts(self, round_index: int) -> frozenset[int]:
+        """Replay the WAL of every party whose restart round arrived."""
+        due = sorted(self._restart_at.pop(round_index, ()))
+        for party in due:
+            replayed = self._recovery.recover(party, self.stats)
+            state = self._states[party]
+            state.generator = replayed.generator
+            state.started = replayed.started
+            state.finished = replayed.finished
+            state.output = replayed.output
+            state.inbox = replayed.inbox
+            self.down.discard(party)
+            self.crash_log.append(("up", round_index, party))
+        return frozenset(due)
+
+    def _accept_crashes(
+        self,
+        requests: dict[int, int],
+        down_round: int,
+        pending_corruptions: int = 0,
+    ) -> tuple[set[int], set[int]]:
+        """Clip crash requests to the shared ``t`` budget and apply them.
+
+        ``requests`` maps party -> restart round; invalid targets
+        (corrupted, already down, finished, out of range) are silently
+        ignored, over-budget ones are clipped with a warning, exactly
+        like over-budget adaptive corruptions.
+        """
+        valid = {
+            party: up
+            for party, up in requests.items()
+            if 0 <= party < self.n
+            and party not in self.corrupted
+            and party not in self.down
+            and not self._states[party].finished
+            and up > down_round
+        }
+        allowed = max(
+            0,
+            self.t
+            - len(self.corrupted)
+            - pending_corruptions
+            - len(self.down),
+        )
+        accepted = set(sorted(valid)[:allowed])
+        clipped = set(valid) - accepted
+        if clipped:
+            self.clipped_crashes.extend(
+                (down_round, party) for party in sorted(clipped)
+            )
+            warnings.warn(
+                f"crash budget exhausted at round {down_round}: clipped "
+                f"parties {sorted(clipped)} (t={self.t}, corrupted "
+                f"{len(self.corrupted)}, down {len(self.down)}) -- the "
+                "crash schedule is over-powered and was weakened",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        for party in sorted(accepted):
+            self.down.add(party)
+            self._restart_at.setdefault(valid[party], set()).add(party)
+            self.crash_log.append(("down", down_round, party))
+        return accepted, clipped
+
     def _run_round(self, round_index: int) -> None:
-        # 1. Resume every running generator.
+        # 0. Crash plane: restarts due now, then declarative crashes
+        # whose down round is now (both before any generator resumes).
+        restarted: frozenset[int] = frozenset()
+        if self._recovery is not None:
+            restarted = self._process_restarts(round_index)
+            declared = self._declared_crashes.pop(round_index, None)
+            if declared:
+                self._accept_crashes(declared, round_index)
+
+        # 1. Resume every running generator (down parties stay frozen).
         outgoings: dict[int, Outgoing] = {}
         for party, state in self._states.items():
+            if party in self.down:
+                continue
             outgoing = self._resume(party, state)
             if outgoing is not None:
                 outgoings[party] = outgoing
@@ -318,6 +470,8 @@ class SynchronousNetwork:
                     p for p, s in self._states.items() if s.finished
                 ),
                 honest_channels=tuple(sorted(honest_channels)),
+                down_parties=frozenset(self.down),
+                restarted_parties=restarted,
             )
             if self.trace is not None:
                 self.trace.append(record)
@@ -358,10 +512,35 @@ class SynchronousNetwork:
             corrupted_inputs={
                 p: self.inputs[p] for p in self.corrupted
             },
+            down=frozenset(self.down),
         )
         byz_messages = self.adversary.deliver(view)
 
-        # 3. Deliver inboxes and account honest bits.
+        # 3. Synchronize the wire: on a lossy transport every honest
+        # payload to a live destination is retransmitted until acked,
+        # restoring the lockstep abstraction (overhead lands in the
+        # retrans_*/ack_* stats, never in honest_bits).
+        if self.transport is not None:
+            live_traffic = {
+                link: payload
+                for link, payload in honest_outgoing.items()
+                if link[1] not in self.down
+            }
+            try:
+                self.transport.synchronize(
+                    round_index, live_traffic, self.stats
+                )
+            except TransportTimeout as timeout:
+                raise SimulationError(
+                    str(timeout),
+                    trace=self.trace,
+                    stats=self.stats,
+                    outputs=self._partial_outputs(),
+                ) from timeout
+
+        # 4. Deliver inboxes and account honest bits.  Down parties'
+        # inboxes are parked (senders keep retransmitting) instead of
+        # delivered; live parties' executed rounds go to their WALs.
         inboxes: dict[int, dict[int, Any]] = {
             party: {} for party in self._states
         }
@@ -380,18 +559,36 @@ class SynchronousNetwork:
                 inboxes[dst][src] = payload
                 byz_count += 1
         for party, state in self._states.items():
-            state.inbox = inboxes[party]
+            if party not in self.down:
+                state.inbox = inboxes[party]
+        if self._recovery is not None:
+            honest_senders = {
+                p for p in range(self.n) if p not in self.corrupted
+            }
+            for party in sorted(self.down):
+                self._recovery.park(
+                    party, round_index, inboxes[party], honest_senders
+                )
+            for party, out in outgoings.items():
+                if party not in self.corrupted:
+                    self._recovery.log_round(
+                        party, round_index, inboxes[party], out
+                    )
         self.stats.record_round()
 
-        # 4. Adaptive corruptions (effective next round).  An over-budget
+        # 5. Adaptive corruptions (effective next round).  An over-budget
         # ``adapt()`` is clipped deterministically; the clipped parties
         # are recorded and warned about rather than silently dropped.
+        # Down parties share the same ``t`` budget and cannot be
+        # corrupted while powered off.
         requested = {
             party
             for party in self.adversary.adapt(view)
-            if 0 <= party < self.n and party not in self.corrupted
+            if 0 <= party < self.n
+            and party not in self.corrupted
+            and party not in self.down
         }
-        allowed = max(0, self.t - len(self.corrupted))
+        allowed = max(0, self.t - len(self.corrupted) - len(self.down))
         accepted = set(sorted(requested)[:allowed])
         clipped = requested - accepted
         if clipped:
@@ -406,6 +603,25 @@ class SynchronousNetwork:
                 "is over-powered and was silently weakened",
                 RuntimeWarning,
                 stacklevel=2,
+            )
+
+        # 6. Adversarial crashes (effective next round), clipped against
+        # the combined corruption + down budget.
+        down_before = frozenset(self.down)
+        crash_accepted: set[int] = set()
+        crash_clipped: set[int] = set()
+        if self._recovery is not None and getattr(
+            self.adversary, "has_crash_plane", False
+        ):
+            crash_requests = self.adversary.crash_restarts(view)
+            crash_accepted, crash_clipped = self._accept_crashes(
+                {
+                    party: up
+                    for party, up in crash_requests.items()
+                    if party not in accepted
+                },
+                round_index + 1,
+                pending_corruptions=len(accepted),
             )
 
         record = RoundRecord(
@@ -423,6 +639,10 @@ class SynchronousNetwork:
             honest_channels=tuple(sorted(honest_channels)),
             new_corruptions=frozenset(accepted),
             clipped_corruptions=frozenset(clipped),
+            down_parties=down_before,
+            restarted_parties=restarted,
+            new_crashes=frozenset(crash_accepted),
+            clipped_crashes=frozenset(crash_clipped),
         )
         if self.trace is not None:
             self.trace.append(record)

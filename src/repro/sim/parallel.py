@@ -38,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import os
 import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -123,7 +124,15 @@ def _run_one(
     """Execute one case under the timeout guard; never raises."""
     start = time.perf_counter()
     previous = None
-    armed = timeout_s is not None and hasattr(signal, "SIGALRM")
+    # Signal handlers can only be installed from the main thread;
+    # ``run_many(workers=1)`` may legitimately be called from a worker
+    # thread (test runners, embedding apps), where the case simply runs
+    # without the alarm guard.
+    armed = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
     if armed:
         previous = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)

@@ -6,7 +6,9 @@ from typing import Any, Sequence
 
 from .adversary import Adversary
 from .invariants import InvariantMonitor
+from .lossy import LossyTransport
 from .network import ExecutionResult, ProtocolFactory, SynchronousNetwork
+from .recovery import CrashEvent, RecoveryConfig
 
 __all__ = ["run_protocol"]
 
@@ -21,6 +23,9 @@ def run_protocol(
     max_rounds: int | None = None,
     trace: bool = False,
     monitors: Sequence[InvariantMonitor] = (),
+    transport: LossyTransport | None = None,
+    crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
+    recovery: RecoveryConfig | bool | None = None,
 ) -> ExecutionResult:
     """Simulate one execution of ``protocol_factory`` and return the result.
 
@@ -42,6 +47,13 @@ def run_protocol(
             trace on the result.
         monitors: online invariant monitors
             (:mod:`repro.sim.invariants`) evaluated during the run.
+        transport: optional lossy transport; protocols run unmodified on
+            top of its ack/retransmit round synchronizer.
+        crashes: declarative honest crash windows
+            (``(party, down_round, up_round)``), replayed via per-party
+            write-ahead logs at the restart round.
+        recovery: enable (or configure) the crash-recovery plane even
+            without a declarative schedule.
 
     Returns:
         The :class:`~repro.sim.network.ExecutionResult` with per-party
@@ -57,5 +69,8 @@ def run_protocol(
         max_rounds=max_rounds,
         trace=trace,
         monitors=monitors,
+        transport=transport,
+        crashes=crashes,
+        recovery=recovery,
     )
     return network.run()

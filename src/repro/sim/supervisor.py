@@ -1,0 +1,177 @@
+"""Graceful degradation: supervised execution with a HighCostCA fallback.
+
+The online invariant monitors (:mod:`repro.sim.invariants`) turn the
+paper's guarantees into hard faults: a detected ``PI_lBA+`` bit-budget
+overrun or broken invariant raises
+:class:`~repro.errors.ProtocolViolation` and the execution dies.  For a
+chaos harness that is the right default -- but a *deployment* wants the
+next-best thing: detect that the communication-optimal path has gone
+wrong and still end with a convex-valid output.
+
+:func:`run_with_fallback` provides exactly that.  It supervises a
+primary execution; if the primary dies with a
+:class:`~repro.errors.ProtocolViolation` (a monitor fired) or a
+:class:`~repro.errors.SimulationError` (lockstep break, round-budget
+exhaustion, transport timeout), it falls back to the self-contained
+``HighCostCA`` protocol (Appendix A.4) on the same inputs -- the
+``O(l n^3)``-bit workhorse whose guarantees rest on nothing but
+``t < n/3`` -- and returns that result with a :class:`FallbackRecord`
+attached to ``ExecutionResult.fallback``.
+
+``HighCostCA`` operates on natural numbers; the supervisor embeds
+arbitrary integer inputs by shifting them into N (the harness knows all
+inputs) and un-shifting the agreed output, which preserves the convex
+hull exactly.
+
+The fallback run keeps the primary's corruption set but replaces the
+adversary's *strategy* with spec-following corrupted parties: byzantine
+strategies are protocol-shaped (they inspect channels and payloads of
+the protocol they were written against) and cannot be meaningfully
+re-driven against a different protocol.  ``HighCostCA``'s guarantees
+hold against arbitrary byzantine behaviour regardless, so this choice
+affects realism of the simulated attack, not soundness of the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigurationError, ProtocolViolation, SimulationError
+from .adversary import Adversary, PassiveAdversary
+from .invariants import InvariantMonitor
+from .lossy import LossyTransport
+from .metrics import CommunicationStats
+from .network import ExecutionResult, ProtocolFactory, SynchronousNetwork
+from .recovery import CrashEvent, RecoveryConfig
+
+__all__ = ["FallbackRecord", "run_with_fallback"]
+
+
+@dataclass(frozen=True)
+class FallbackRecord:
+    """Why and how an execution degraded to the HighCostCA path."""
+
+    #: exception class name of the primary failure.
+    trigger: str
+    #: human-readable description of the primary failure.
+    detail: str
+    #: monitor name when a :class:`ProtocolViolation` fired, else ``None``.
+    monitor: str | None
+    #: the shift applied to embed the inputs into N (output was
+    #: un-shifted by the same amount).
+    offset: int
+    #: communication stats of the aborted primary execution.
+    primary_stats: CommunicationStats | None = None
+
+    def describe(self) -> str:
+        via = f" via {self.monitor}" if self.monitor else ""
+        return f"degraded to HighCostCA after {self.trigger}{via}: {self.detail}"
+
+
+class _StaticCorruptions(PassiveAdversary):
+    """Spec-following corrupted parties with a pinned corruption set."""
+
+    def __init__(self, corrupted: frozenset[int]) -> None:
+        super().__init__()
+        self._corrupted = set(corrupted)
+
+    def select_corruptions(self, n: int, t: int) -> set[int]:
+        return set(self._corrupted)
+
+
+def run_with_fallback(
+    protocol_factory: ProtocolFactory,
+    inputs: dict[int, Any] | list[Any],
+    n: int,
+    t: int,
+    kappa: int = 128,
+    adversary: Adversary | None = None,
+    max_rounds: int | None = None,
+    trace: bool = False,
+    monitors: Sequence[InvariantMonitor] = (),
+    transport: LossyTransport | None = None,
+    crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
+    recovery: RecoveryConfig | bool | None = None,
+    fallback_channel: str = "fallback/hc",
+    fallback_factory: Callable[..., Any] | None = None,
+) -> ExecutionResult:
+    """Run the primary protocol; degrade to ``HighCostCA`` on failure.
+
+    The primary execution gets the full resilience stack (monitors,
+    transport, crash plane).  On :class:`ProtocolViolation` or
+    :class:`SimulationError` the supervisor reruns the *inputs* through
+    ``HighCostCA`` (or ``fallback_factory``) with the same corruption
+    set, and returns that result with ``ExecutionResult.fallback`` set.
+    Configuration errors and harness bugs still propagate -- only
+    detected protocol misbehaviour degrades.
+
+    Requires integer inputs (they are shifted into N for HighCostCA);
+    non-integer inputs make the primary failure propagate unchanged.
+    """
+    if isinstance(inputs, list):
+        inputs = dict(enumerate(inputs))
+    primary = SynchronousNetwork(
+        protocol_factory=protocol_factory,
+        inputs=inputs,
+        n=n,
+        t=t,
+        kappa=kappa,
+        adversary=adversary,
+        max_rounds=max_rounds,
+        trace=trace,
+        monitors=monitors,
+        transport=transport,
+        crashes=crashes,
+        recovery=recovery,
+    )
+    try:
+        return primary.run()
+    except (ProtocolViolation, SimulationError) as failure:
+        try:
+            offset = _offset_into_naturals(inputs)
+        except ConfigurationError:
+            raise failure from None
+        record = FallbackRecord(
+            trigger=type(failure).__name__,
+            detail=str(failure),
+            monitor=getattr(failure, "monitor", None),
+            offset=offset,
+            primary_stats=primary.stats,
+        )
+
+    shifted = {party: value + offset for party, value in inputs.items()}
+    if fallback_factory is None:
+        from ..core.high_cost_ca import high_cost_ca
+
+        fallback_factory = high_cost_ca
+
+    fallback_net = SynchronousNetwork(
+        protocol_factory=lambda ctx, v: fallback_factory(
+            ctx, v, channel=fallback_channel
+        ),
+        inputs=shifted,
+        n=n,
+        t=t,
+        kappa=kappa,
+        adversary=_StaticCorruptions(frozenset(primary.corrupted)),
+        max_rounds=max_rounds,
+        trace=trace,
+    )
+    result = fallback_net.run()
+    result.outputs = {
+        party: value - offset for party, value in result.outputs.items()
+    }
+    result.fallback = record
+    return result
+
+
+def _offset_into_naturals(inputs: dict[int, Any]) -> int:
+    """Shift embedding integer inputs into N (0 when already natural)."""
+    values = list(inputs.values())
+    if any(not isinstance(v, int) or isinstance(v, bool) for v in values):
+        raise ConfigurationError(
+            "the HighCostCA fallback needs integer inputs"
+        )
+    lowest = min(values)
+    return -lowest if lowest < 0 else 0

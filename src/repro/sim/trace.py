@@ -40,6 +40,14 @@ class RoundRecord:
     #: adaptive corruptions the adversary requested but the ``t`` budget
     #: clipped -- an over-powered adversary config, made visible.
     clipped_corruptions: frozenset[int] = field(default_factory=frozenset)
+    #: honest parties powered off (crash plane) during this round.
+    down_parties: frozenset[int] = field(default_factory=frozenset)
+    #: parties that replayed their WAL and rejoined at this round's start.
+    restarted_parties: frozenset[int] = field(default_factory=frozenset)
+    #: crash requests accepted at this round boundary (down next round).
+    new_crashes: frozenset[int] = field(default_factory=frozenset)
+    #: crash requests the combined ``t`` budget clipped.
+    clipped_crashes: frozenset[int] = field(default_factory=frozenset)
 
     def to_dict(self) -> dict:
         """JSON-friendly representation (used by repro artifacts)."""
@@ -54,6 +62,10 @@ class RoundRecord:
             "honest_channels": list(self.honest_channels),
             "new_corruptions": sorted(self.new_corruptions),
             "clipped_corruptions": sorted(self.clipped_corruptions),
+            "down_parties": sorted(self.down_parties),
+            "restarted_parties": sorted(self.restarted_parties),
+            "new_crashes": sorted(self.new_crashes),
+            "clipped_crashes": sorted(self.clipped_crashes),
         }
 
 

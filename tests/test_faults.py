@@ -191,6 +191,49 @@ class TestRecordReplay:
         assert replayed.stats.rounds == original.stats.rounds
         assert replayed.trace == original.trace
 
+    def test_replay_round_trips_all_three_fault_planes(self):
+        """Record a run with garble+duplicate message faults, a crash
+        window, and lossy links; replaying the captured script plus
+        crash schedule must reproduce it byte-for-byte (satellite)."""
+        from repro.sim import LossyTransport
+
+        inputs = [10, 20, 30, 40, 50, 60, 70]
+        transport_seed = 21
+        recorder = RecordingAdversary(
+            ComposedAdversary(
+                [EquivocatingAdversary(seed=3)],
+                faults=FaultSpec(
+                    garble=0.4, duplicate=0.3, seed=11,
+                    link_drop=0.2, crashes=((2, 3, 6),),
+                ),
+                initial={6},  # leave crash-budget room under t = 2
+            )
+        )
+        original = run_pi_z(
+            inputs, 7, 2, recorder, trace=True,
+            transport=LossyTransport(drop=0.2, seed=transport_seed),
+        )
+        assert recorder.script, "expected recorded byzantine traffic"
+        assert recorder.crash_schedule == [(2, 3, 6)]
+
+        replayer = ReplayAdversary(
+            recorder.script,
+            recorder.initial_corruptions,
+            recorder.adapt_schedule,
+            crash_schedule=recorder.crash_schedule,
+        )
+        replayed = run_pi_z(
+            inputs, 7, 2, replayer, trace=True,
+            transport=LossyTransport(drop=0.2, seed=transport_seed),
+        )
+
+        assert replayed.outputs == original.outputs
+        assert replayed.crash_log == original.crash_log
+        assert replayed.recoveries == original.recoveries
+        assert replayed.stats.honest_bits == original.stats.honest_bits
+        assert replayed.stats.retrans_bits == original.stats.retrans_bits
+        assert replayed.trace == original.trace
+
     def test_replay_misses_stay_silent(self):
         replayer = ReplayAdversary({}, {3})
         result = run_pi_z([1, 2, 3, 4], 4, 1, replayer)

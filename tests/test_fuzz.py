@@ -259,6 +259,50 @@ class TestArtifacts:
 
 
 # ---------------------------------------------------------------------------
+# crash-plane campaigns
+# ---------------------------------------------------------------------------
+
+
+class TestCrashCampaign:
+    def test_crash_sampling_widens_the_fault_space(self):
+        registry = standard_registry()
+        rng = random.Random(17)
+        cases = [sample_case(rng, registry, crash=True) for _ in range(30)]
+        assert any(c.faults.has_link_faults for c in cases)
+        assert any(c.faults.has_crashes for c in cases)
+        for case in cases:
+            for party, down, up in case.faults.crashes:
+                assert 0 <= party < case.n
+                assert 1 <= down < up
+
+    def test_crash_false_sampling_is_unchanged(self):
+        """Adding the crash axes must not perturb crash=False campaigns:
+        the extra draws are gated behind the flag."""
+        registry = standard_registry()
+        baseline = sample_case(random.Random(5), registry)
+        again = sample_case(random.Random(5), registry, crash=False)
+        assert baseline == again
+        assert baseline.faults.crashes == ()
+        assert not baseline.faults.has_link_faults
+
+    def test_crash_campaign_is_clean_and_deterministic(self):
+        a = fuzz(runs=6, seed=7, crash=True)
+        b = fuzz(runs=6, seed=7, crash=True)
+        assert a.clean, [f.case for f in a.failures]
+        assert a.crash
+        assert [c.to_dict() for c in a.cases] == [c.to_dict() for c in b.cases]
+        assert a.summary() == b.summary()
+
+    def test_crash_campaign_parallel_matches_serial(self):
+        serial = fuzz(runs=6, seed=7, crash=True, workers=1)
+        fanned = fuzz(runs=6, seed=7, crash=True, workers=3)
+        assert [c.to_dict() for c in serial.cases] == [
+            c.to_dict() for c in fanned.cases
+        ]
+        assert len(serial.failures) == len(fanned.failures)
+
+
+# ---------------------------------------------------------------------------
 # CLI fuzz
 # ---------------------------------------------------------------------------
 
@@ -267,3 +311,10 @@ class TestCliFuzz:
     def test_clean_run_exits_zero(self, capsys):
         assert main(["fuzz", "--runs", "3", "--seed", "0", "--quiet"]) == 0
         assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_crash_flag_runs_clean(self, capsys):
+        assert main([
+            "fuzz", "--runs", "3", "--seed", "7", "--crash", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crash plane" in out

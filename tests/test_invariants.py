@@ -216,13 +216,14 @@ class TestDefaultMonitors:
             "LockstepMonitor",
             "AgreementMonitor",
             "ConvexValidityMonitor",
+            "CrashBudgetMonitor",
             "BitBudgetMonitor",
             "RoundBudgetMonitor",
         ]
 
     def test_budgetless_stack(self):
         stack = default_monitors()
-        assert len(stack) == 3
+        assert len(stack) == 4
 
     def test_full_stack_on_pi_z(self):
         inputs = [5, 6, 7, 8]

@@ -1,0 +1,140 @@
+"""Lossy transport: seeded link schedules, ack/retransmit round
+synchronizer, overhead accounting, and the transparency guarantee --
+protocols run unmodified and see exactly the perfect-network inboxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import protocol_z
+from repro.core.fixed_length import fixed_length_ca
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import (
+    ACK_BITS,
+    FaultSpec,
+    LossyTransport,
+    run_protocol,
+)
+
+KAPPA = 64
+
+
+def run_flca(inputs, n, t, ell=8, **kwargs):
+    return run_protocol(
+        lambda ctx, v: fixed_length_ca(ctx, v, ell), inputs, n=n, t=t,
+        kappa=KAPPA, **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            LossyTransport(drop=1.0)
+        with pytest.raises(ConfigurationError):
+            LossyTransport(delay=-0.1)
+        with pytest.raises(ConfigurationError):
+            LossyTransport(reorder=1.5)
+        with pytest.raises(ConfigurationError):
+            LossyTransport(slot_budget=0)
+
+    def test_from_spec_without_link_faults_is_none(self):
+        assert LossyTransport.from_spec(FaultSpec(drop=0.5, garble=0.2)) is None
+
+    def test_from_spec_builds_decorrelated_transport(self):
+        spec = FaultSpec(link_drop=0.2, link_delay=0.1, seed=9)
+        transport = LossyTransport.from_spec(spec)
+        assert transport is not None
+        assert transport.drop == 0.2
+        assert transport.delay == 0.1
+        # The transport seed is derived, never the raw spec seed.
+        assert transport.seed != spec.seed
+
+
+class TestTransparency:
+    """Logical executions on lossy links are byte-identical to perfect
+    links; only the separately-accounted overhead differs."""
+
+    def test_outputs_and_honest_bits_unchanged(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        baseline = run_flca(inputs, 7, 2)
+        lossy = run_flca(
+            inputs, 7, 2,
+            transport=LossyTransport(drop=0.3, delay=0.2, reorder=0.5, seed=4),
+        )
+        assert lossy.outputs == baseline.outputs
+        assert lossy.stats.honest_bits == baseline.stats.honest_bits
+        assert lossy.stats.rounds == baseline.stats.rounds
+        lossy.assert_convex_valid(inputs)
+
+    def test_overhead_accounted_separately(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        result = run_flca(
+            inputs, 7, 2, transport=LossyTransport(drop=0.3, seed=4),
+        )
+        stats = result.stats
+        assert stats.retrans_bits > 0
+        assert stats.retrans_messages > 0
+        assert stats.ack_bits > 0
+        assert stats.ack_bits == stats.ack_messages * ACK_BITS
+        assert stats.transport_slots >= stats.rounds
+        assert stats.resilience_overhead_bits == (
+            stats.retrans_bits + stats.ack_bits
+        )
+
+    def test_perfect_transport_still_pays_acks(self):
+        inputs = [1, 2, 3, 4]
+        result = run_flca(inputs, 4, 1, transport=LossyTransport(seed=1))
+        assert result.stats.retrans_bits == 0
+        assert result.stats.ack_bits > 0
+
+    def test_schedule_is_deterministic(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+
+        def once():
+            return run_flca(
+                inputs, 7, 2,
+                transport=LossyTransport(drop=0.25, reorder=0.3, seed=12),
+            )
+
+        a, b = once(), once()
+        assert a.outputs == b.outputs
+        assert a.stats.retrans_bits == b.stats.retrans_bits
+        assert a.stats.transport_slots == b.stats.transport_slots
+
+    def test_different_seeds_differ_in_overhead(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        overheads = {
+            run_flca(
+                inputs, 7, 2, transport=LossyTransport(drop=0.3, seed=s),
+            ).stats.retrans_bits
+            for s in range(3)
+        }
+        assert len(overheads) > 1
+
+    def test_link_restriction(self):
+        inputs = [1, 2, 3, 4]
+        transport = LossyTransport(
+            drop=0.5, seed=2, links=frozenset({(0, 1)}),
+        )
+        result = run_flca(inputs, 4, 1, transport=transport)
+        result.assert_convex_valid(inputs)
+
+    def test_pi_z_runs_unmodified_on_lossy_links(self):
+        inputs = [-100, -50, 0, 50, 100, 150, 200]
+        baseline = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v), inputs, n=7, t=2, kappa=KAPPA,
+        )
+        lossy = run_protocol(
+            lambda ctx, v: protocol_z(ctx, v), inputs, n=7, t=2, kappa=KAPPA,
+            transport=LossyTransport(drop=0.2, delay=0.1, seed=7),
+        )
+        assert lossy.outputs == baseline.outputs
+        assert lossy.stats.honest_bits == baseline.stats.honest_bits
+
+
+class TestTimeout:
+    def test_exhausted_slot_budget_fails_the_simulation(self):
+        inputs = [1, 2, 3, 4]
+        transport = LossyTransport(drop=0.95, seed=3, slot_budget=4)
+        with pytest.raises(SimulationError, match="slot"):
+            run_flca(inputs, 4, 1, transport=transport)

@@ -159,6 +159,29 @@ class TestRunMany:
         assert outcomes[1].error_type == "WorkerCrash"
         assert [o.value for o in outcomes if o.ok] == [1, 2, 3]
 
+    def test_timeout_from_worker_thread_runs_unguarded(self):
+        """``run_many(workers=1, timeout_s=...)`` from a non-main thread
+        must not try to install a SIGALRM handler (which only the main
+        thread may do); the cases simply run without the alarm guard
+        (satellite)."""
+        import threading
+
+        collected = {}
+
+        def drive():
+            try:
+                collected["outcomes"] = run_many(
+                    square, [2, 3], workers=1, timeout_s=5.0,
+                )
+            except Exception as exc:  # signal.signal would raise here
+                collected["error"] = exc
+
+        worker = threading.Thread(target=drive)
+        worker.start()
+        worker.join(timeout=30)
+        assert "error" not in collected, collected.get("error")
+        assert [o.value for o in collected["outcomes"]] == [4, 9]
+
     def test_progress_in_index_order(self):
         seen = []
         run_many(

@@ -1,0 +1,121 @@
+"""Graceful degradation: the supervisor catches monitor violations and
+simulation failures and reruns the inputs through HighCostCA, so every
+supervised call ends with a convex-valid output -- and the fallback is
+recorded, never silent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import convex_agreement
+from repro.core.fixed_length import fixed_length_ca
+from repro.errors import ProtocolViolation, SimulationError
+from repro.sim import (
+    BitBudgetMonitor,
+    FallbackRecord,
+    LossyTransport,
+    run_with_fallback,
+)
+
+KAPPA = 64
+
+
+def flca_factory(ell=8):
+    return lambda ctx, v: fixed_length_ca(ctx, v, ell)
+
+
+class TestCleanRun:
+    def test_no_fallback_on_healthy_execution(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        result = run_with_fallback(
+            flca_factory(), inputs, n=7, t=2, kappa=KAPPA,
+        )
+        result.assert_convex_valid(inputs)
+        assert result.fallback is None
+
+
+class TestCanary:
+    """Force a Pi_lBA+ budget violation; the supervisor must land the
+    execution on HighCostCA with Agreement + Convex Validity intact."""
+
+    def test_budget_violation_degrades_to_high_cost_ca(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        # The find-prefix subprotocol of FixedLengthCA runs on channel
+        # "flca/fp"; a 1-bit budget is unsatisfiable, so the monitor
+        # fires mid-execution.
+        monitor = BitBudgetMonitor(per_channel={"flca/fp": 1})
+        result = run_with_fallback(
+            flca_factory(), inputs, n=7, t=2, kappa=KAPPA,
+            monitors=[monitor],
+        )
+        value = result.assert_convex_valid(inputs)
+        assert min(inputs) <= value <= max(inputs)
+        record = result.fallback
+        assert isinstance(record, FallbackRecord)
+        assert record.trigger == "ProtocolViolation"
+        assert record.monitor.startswith("BitBudgetMonitor")
+        assert record.primary_stats is not None
+        assert "HighCostCA" in record.describe()
+
+    def test_unsupervised_violation_still_raises(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        from repro.sim import run_protocol
+
+        with pytest.raises(ProtocolViolation):
+            run_protocol(
+                flca_factory(), inputs, n=7, t=2, kappa=KAPPA,
+                monitors=[BitBudgetMonitor(per_channel={"flca/fp": 1})],
+            )
+
+
+class TestTransportFailure:
+    def test_transport_timeout_degrades(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        # A 4-slot budget under drop=0.95 cannot synchronize any round.
+        transport = LossyTransport(drop=0.95, seed=3, slot_budget=4)
+        result = run_with_fallback(
+            flca_factory(), inputs, n=7, t=2, kappa=KAPPA,
+            transport=transport,
+        )
+        result.assert_convex_valid(inputs)
+        assert result.fallback is not None
+        assert result.fallback.trigger == "SimulationError"
+
+
+class TestOffsetEmbedding:
+    def test_negative_inputs_are_shifted_and_unshifted(self):
+        # PI_Z accepts signed inputs; HighCostCA needs naturals.  The
+        # supervisor shifts on the way in and un-shifts the outputs.
+        inputs = [-1005, -1004, -1003, -1003, -1002, -1001, -1000]
+        outcome = convex_agreement(
+            inputs, t=2, kappa=KAPPA, degrade=True,
+        )
+        assert min(inputs) <= outcome.value <= max(inputs)
+
+    def test_non_integer_inputs_propagate_the_primary_failure(self):
+        def broken_factory(ctx, v):
+            raise SimulationError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(SimulationError):
+            run_with_fallback(
+                broken_factory, ["a", "b", "c", "d"], n=4, t=1, kappa=KAPPA,
+            )
+
+
+class TestApiIntegration:
+    def test_degrade_flag_records_fallback(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        outcome = convex_agreement(
+            inputs, t=2, kappa=KAPPA, degrade=True,
+            monitors=[BitBudgetMonitor(total=1)],
+        )
+        assert min(inputs) <= outcome.value <= max(inputs)
+        assert outcome.execution.fallback is not None
+
+    def test_degrade_flag_is_transparent_when_clean(self):
+        inputs = [3, 5, 7, 11, 13, 17, 19]
+        plain = convex_agreement(inputs, t=2, kappa=KAPPA)
+        supervised = convex_agreement(inputs, t=2, kappa=KAPPA, degrade=True)
+        assert supervised.value == plain.value
+        assert supervised.execution.fallback is None
