@@ -14,12 +14,15 @@ import math
 import pytest
 
 from repro.analysis import fit_power_law, marginal_slope, measure
+from repro.perf import config as perf_config
 
-from conftest import measure_grid, run_measured
+from conftest import attach, measure_grid, record, run_measured
 
 N, T = 7, 2
 ELLS = [256, 1024, 4096, 16384, 65536]
 NS = [(4, 1), (7, 2), (10, 3), (13, 4)]
+#: long-value points for the hot-path cache A/B medians.
+HOTPATH_ELLS = [16384, 65536]
 
 
 @pytest.mark.parametrize("ell", ELLS)
@@ -76,6 +79,30 @@ def test_pi_z_near_linear_in_ell(benchmark):
     benchmark.extra_info["exponent"] = round(exponent, 3)
     benchmark.extra_info["r_squared"] = round(r2, 4)
     assert exponent < 1.25
+
+
+@pytest.mark.parametrize("caches", ["cached", "uncached"])
+@pytest.mark.parametrize("ell", HOTPATH_ELLS)
+def test_fixed_length_ca_hotpath_medians(benchmark, ell, caches):
+    """Long-``l`` FixedLengthCA with the hot-path caches on vs off.
+
+    pytest-benchmark's 5-round median puts a stable number on what the
+    execution-scoped RS/Merkle caches buy at the paper-scale lengths;
+    bits and rounds are identical either way (the caches are
+    byte-for-byte correctness-neutral -- see tests/test_perf.py).
+    """
+    enabled = caches == "cached"
+
+    def run():
+        with perf_config.caches(enabled):
+            return measure(
+                "fixed_length_ca", N, T, ell, seed=4, spread="clustered"
+            )
+
+    m = benchmark.pedantic(run, rounds=5, iterations=1)
+    attach(benchmark, m)
+    record("T5", f"hotpath ell={ell} {caches}", m)
+    assert m.bits > 0
 
 
 def test_pi_n_matches_pi_z_on_naturals(benchmark):

@@ -23,6 +23,8 @@ makes the outcome deterministic and identical at all honest parties
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..crypto import merkle
 from ..sim.party import Context, Proto, broadcast_round, exchange
 
@@ -36,15 +38,52 @@ __all__ = [
 
 from ..coding.reed_solomon import ReedSolomonCode, rs_code
 from ..errors import CodingError
+from ..perf import config, counters
+
+
+def _encode_and_build(
+    ctx: Context, payload: bytes
+) -> tuple[tuple[bytes, ...], bytes, tuple[merkle.MerkleWitness, ...]]:
+    """Memoized ``RS.ENCODE`` + ``MT.BUILD`` of ``payload``.
+
+    The encoding is a pure function of ``(n, k, kappa, payload)``, and the
+    CA stack recomputes it constantly: ``FindPrefix`` re-encodes the same
+    prefix across binary-search steps, and :func:`decode_with_check`
+    re-encodes every decoded value.  The memo lives in ``ctx.cache`` --
+    execution-scoped, never shared across parties or workers -- and maps a
+    payload to *its own* encoding only, so garbled byzantine inputs can
+    never poison an honest party's entry for a different payload.
+    """
+    if not config.caches_enabled():
+        code = rs_code(ctx.n, ctx.quorum)
+        shares = code.encode(payload)
+        root, witnesses = merkle.build(ctx.kappa, shares)
+        return tuple(shares), root, tuple(witnesses)
+    key = ("rs+mt", ctx.n, ctx.quorum, ctx.kappa, payload)
+    hit = ctx.cache.get(key)
+    if hit is not None:
+        counters.bump("encode_cache_hit")
+        return hit
+    counters.bump("encode_cache_miss")
+    code = rs_code(ctx.n, ctx.quorum)
+    shares = code.encode(payload)
+    root, witnesses = merkle.build(ctx.kappa, shares)
+    entry = (tuple(shares), root, tuple(witnesses))
+    ctx.cache[key] = entry
+    return entry
 
 
 def encode_and_accumulate(
     ctx: Context, payload: bytes
-) -> tuple[ReedSolomonCode, list[bytes], bytes, list[merkle.MerkleWitness]]:
+) -> tuple[
+    ReedSolomonCode,
+    tuple[bytes, ...],
+    bytes,
+    tuple[merkle.MerkleWitness, ...],
+]:
     """``RS.ENCODE`` + ``MT.BUILD`` for this party's input payload."""
     code = rs_code(ctx.n, ctx.quorum)
-    shares = code.encode(payload)
-    root, witnesses = merkle.build(ctx.kappa, shares)
+    shares, root, witnesses = _encode_and_build(ctx, payload)
     return code, shares, root, witnesses
 
 
@@ -76,8 +115,7 @@ def decode_with_check(
         value = code.decode(collected)
     except CodingError:
         return None
-    reencoded = code.encode(value)
-    root, _ = merkle.build(ctx.kappa, reencoded)
+    _, root, _ = _encode_and_build(ctx, value)
     if root != z_star:
         return None
     return value
@@ -87,8 +125,8 @@ def distribute(
     ctx: Context,
     z_star: bytes,
     holding: bool,
-    shares: list[bytes],
-    witnesses: list[merkle.MerkleWitness],
+    shares: Sequence[bytes],
+    witnesses: Sequence[merkle.MerkleWitness],
     channel: str = "dist",
 ) -> Proto[bytes | None]:
     """Run the two-round distributing step for the agreed root ``z*``.

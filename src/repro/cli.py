@@ -12,10 +12,15 @@ Commands:
 * ``fuzz``    -- chaos campaign: random configs under invariant monitors,
   failing cases shrunk to minimal JSON repro artifacts.
 * ``replay``  -- re-execute a fuzz artifact and check it still reproduces.
+* ``profile`` -- run the hot-path battery under deterministic operation
+  counters (plus cProfile hotspots) and emit ``BENCH_hotpath.json``;
+  ``--check`` diffs the counters against a committed baseline at zero
+  tolerance (the CI perf gate).
 
 Examples::
 
     python -m repro run -1005 -1004 -1003 --adversary outlier
+    python -m repro profile --quick --check benchmarks/BENCH_hotpath.json
     python -m repro sweep --protocol pi_z --n 7 --ells 256,1024,4096
     python -m repro sweep --protocol fixed_length_ca --ns 4,7,10 \
         --ells 256,4096 --workers auto --compare-serial \
@@ -173,6 +178,22 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-execute a fuzz repro artifact"
     )
     replay.add_argument("artifact", help="path to a repro-fuzz JSON file")
+
+    profile = sub.add_parser(
+        "profile", help="hot-path benchmark + deterministic counter gate"
+    )
+    profile.add_argument("--quick", action="store_true",
+                         help="CI-sized config battery (seconds, not "
+                              "minutes)")
+    profile.add_argument("--output", default=None,
+                         help="write BENCH_hotpath.json to this path")
+    profile.add_argument("--check", default=None,
+                         help="diff deterministic counters against this "
+                              "baseline document; exit 1 on any regression")
+    profile.add_argument("--no-cprofile", action="store_true",
+                         help="skip the cProfile hotspot pass")
+    profile.add_argument("--top", type=int, default=15,
+                         help="number of cProfile hotspots to record")
 
     return parser
 
@@ -392,6 +413,54 @@ def _cmd_replay(args) -> int:
     return 1
 
 
+def _cmd_profile(args) -> int:
+    from .perf import profile as perf_profile
+
+    document = perf_profile.hotpath_document(
+        quick=args.quick,
+        cprofile=not args.no_cprofile,
+        top=args.top,
+    )
+    wall = document["timing"]["wall_s"]
+    print(f"hot-path battery ({'quick' if args.quick else 'full'}):")
+    for key, entry in document["deterministic"].items():
+        ops = entry["counters"]
+        print(
+            f"  {key:<52} {wall[key]:>8.3f}s  "
+            f"{entry['bits']:>10,} bits {entry['rounds']:>6,} rounds  "
+            f"sha256={ops.get('sha256', 0):,}"
+        )
+    hotspots = document["timing"].get("hotspots")
+    if hotspots:
+        print(f"\ncProfile hotspots ({hotspots['config']}):")
+        for row in hotspots["top"]:
+            print(
+                f"  {row['cumtime_s']:>8.3f}s cum "
+                f"{row['tottime_s']:>8.3f}s tot  {row['function']}"
+            )
+    if args.output:
+        path = perf_profile.save_document(document, args.output)
+        print(f"\nbenchmark document written to {path}")
+    if args.check:
+        try:
+            baseline = perf_profile.load_document(args.check)
+        except FileNotFoundError:
+            print(f"error: no baseline at {args.check}", file=sys.stderr)
+            return 2
+        errors, notes = perf_profile.check_counters(document, baseline)
+        for note in notes:
+            print(f"note: {note}")
+        for error in errors:
+            print(f"REGRESSION: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        print(
+            f"\ncounter gate: {len(document['deterministic'])} config(s) "
+            f"match the baseline ({args.check})"
+        )
+    return 0
+
+
 def _run_authenticated(args, adversary):
     from .authenticated import authenticated_ca
     from .core.api import ConvexAgreementOutcome
@@ -417,6 +486,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "fuzz": _cmd_fuzz,
     "replay": _cmd_replay,
+    "profile": _cmd_profile,
 }
 
 

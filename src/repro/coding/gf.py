@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..perf import counters
+
 __all__ = ["BinaryField", "GF256", "GF65536"]
 
 
@@ -109,19 +111,32 @@ class BinaryField:
     def matmul(self, matrix: list[list[int]], data: np.ndarray) -> np.ndarray:
         """GF matrix product ``matrix (r x k) @ data (k x c) -> (r x c)``.
 
-        ``k`` is small (<= n parties) so the outer loop is Python while the
-        chunk dimension ``c`` (message length / k) stays vectorised.
+        ``k`` is small (<= n parties), so the row loop stays Python while
+        everything over the chunk dimension ``c`` (message length / k) is
+        vectorised.  The discrete logs of ``data`` are looked up *once*
+        per call (not once per matrix coefficient); each output row is
+        then one fused exp-table gather plus an XOR reduction.
         """
+        counters.bump("gf_matmul")
         data = np.asarray(data, dtype=np.int64)
         rows = len(matrix)
         cols = data.shape[1]
         out = np.zeros((rows, cols), dtype=np.int64)
-        for r, row in enumerate(matrix):
-            acc = np.zeros(cols, dtype=np.int64)
-            for k, coeff in enumerate(row):
-                if coeff:
-                    acc ^= self.scalar_mul_vec(coeff, data[k])
-            out[r] = acc
+        if not rows or not cols:
+            return out
+        mat = np.asarray(matrix, dtype=np.int64)
+        data_zero = data == 0
+        log_data = self._log[np.where(data_zero, 1, data)]
+        for r in range(rows):
+            row = mat[r]
+            nonzero = np.flatnonzero(row)
+            if nonzero.size == 0:
+                continue
+            products = self._exp[
+                self._log[row[nonzero, None]] + log_data[nonzero]
+            ]
+            products[data_zero[nonzero]] = 0
+            out[r] = np.bitwise_xor.reduce(products, axis=0)
         return out
 
     # -- linear algebra -----------------------------------------------------

@@ -30,6 +30,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..errors import CodingError
+from ..perf import config, counters
 from .gf import GF65536, BinaryField
 
 __all__ = ["ReedSolomonCode", "rs_code"]
@@ -58,6 +59,21 @@ class ReedSolomonCode:
             raise CodingError("field degree must be a multiple of 8")
         self.points = [i + 1 for i in range(n)]
         self.generator = field.vandermonde(self.points, k)
+        # Inverted Vandermonde submatrices keyed by the sorted index
+        # tuple: FindPrefix-style loops decode from the same share set
+        # over and over, and the inversion is a pure function of the
+        # indices -- adversarial share *contents* never enter the key.
+        self._decode_matrix = lru_cache(maxsize=128)(
+            self._invert_submatrix
+        )
+
+    def _invert_submatrix(
+        self, indices: tuple[int, ...]
+    ) -> list[list[int]]:
+        counters.bump("gf_matrix_invert")
+        return self.field.invert_matrix(
+            [self.generator[i] for i in indices]
+        )
 
     # -- byte <-> symbol plumbing -----------------------------------------
     def _frame(self, data: bytes) -> np.ndarray:
@@ -90,6 +106,7 @@ class ReedSolomonCode:
     # -- public API ---------------------------------------------------------
     def encode(self, data: bytes) -> list[bytes]:
         """``RS.ENCODE``: return the ``n`` codewords of ``data``."""
+        counters.bump("rs_encode")
         chunks = self._frame(data)                      # (k, c)
         evaluations = self.field.matmul(self.generator, chunks)  # (n, c)
         dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
@@ -111,11 +128,12 @@ class ReedSolomonCode:
         first ``k`` indices (sorted) are used.  Raises
         :class:`~repro.errors.CodingError` for malformed share sets.
         """
+        counters.bump("rs_decode")
         if len(shares) < self.k:
             raise CodingError(
                 f"need at least k={self.k} shares, got {len(shares)}"
             )
-        indices = sorted(shares)[: self.k]
+        indices = tuple(sorted(shares)[: self.k])
         if any(not 0 <= i < self.n for i in indices):
             raise CodingError(f"share index out of range in {indices}")
         lengths = {len(shares[i]) for i in indices}
@@ -126,14 +144,17 @@ class ReedSolomonCode:
             raise CodingError(f"share length {length} not a symbol multiple")
 
         dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
-        received = np.stack(
-            [
-                np.frombuffer(shares[i], dtype=dtype).astype(np.int64)
-                for i in indices
-            ]
-        )  # (k, c)
-        submatrix = [self.generator[i] for i in indices]
-        decode_matrix = self.field.invert_matrix(submatrix)
+        # Fill the (k, c) symbol matrix row by row, upcasting straight
+        # into the preallocated array -- no per-share list, no stack copy.
+        received = np.empty(
+            (self.k, length // self.symbol_bytes), dtype=np.int64
+        )
+        for row, i in enumerate(indices):
+            received[row] = np.frombuffer(shares[i], dtype=dtype)
+        if config.caches_enabled():
+            decode_matrix = self._decode_matrix(indices)
+        else:
+            decode_matrix = self._invert_submatrix(indices)
         chunks = self.field.matmul(decode_matrix, received)  # (k, c)
         return self._unframe(chunks)
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import hashlib
 
+from ..perf import counters
+
 __all__ = ["hash_bytes", "hash_parts", "digest_size_bytes"]
 
 _MAX_KAPPA = 256
@@ -30,6 +32,7 @@ def digest_size_bytes(kappa: int) -> int:
 
 def hash_bytes(kappa: int, data: bytes) -> bytes:
     """``H_kappa(data)``: SHA-256 truncated to ``kappa`` bits."""
+    counters.bump("sha256")
     return hashlib.sha256(data).digest()[: digest_size_bytes(kappa)]
 
 
@@ -41,6 +44,7 @@ def hash_parts(kappa: int, *parts: bytes) -> bytes:
     concatenation ambiguity, preserving collision resistance for
     structured inputs (Merkle nodes, leaf encodings, ...).
     """
+    counters.bump("sha256")
     hasher = hashlib.sha256()
     for part in parts:
         hasher.update(len(part).to_bytes(4, "big"))

@@ -21,10 +21,13 @@ Implementation notes:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
-from ..sim.sizing import WireSized
-from .hashing import digest_size_bytes, hash_parts
+from ..perf import counters
+from ..sim.sizing import WireSized, memoized_wire_bits
+from .hashing import digest_size_bytes
 
 __all__ = ["MerkleWitness", "build", "verify", "witness_bits"]
 
@@ -40,22 +43,52 @@ class MerkleWitness(WireSized):
     index: int
     siblings: tuple[bytes, ...]
 
+    @memoized_wire_bits
     def wire_bits(self) -> int:
-        """Wire cost: path hashes plus the leaf index."""
+        """Wire cost: path hashes plus the leaf index (memoized)."""
         index_bits = max(1, self.index.bit_length())
         return index_bits + sum(8 * len(h) for h in self.siblings)
 
 
+@lru_cache(maxsize=None)
+def _frame_prefix(tag: bytes) -> bytes:
+    """The :func:`hash_parts` length framing of a domain-separation tag."""
+    return len(tag).to_bytes(4, "big") + tag
+
+
+@lru_cache(maxsize=None)
+def _length_frame(size: int) -> bytes:
+    """The 4-byte length header every ``size``-byte part is framed with."""
+    return size.to_bytes(4, "big")
+
+
 def _leaf_hash(kappa: int, leaf: bytes) -> bytes:
-    return hash_parts(kappa, _LEAF_TAG, leaf)
+    # Single hashlib invocation, byte-identical to
+    # hash_parts(kappa, _LEAF_TAG, leaf).
+    counters.bump("sha256")
+    return hashlib.sha256(
+        _frame_prefix(_LEAF_TAG) + _length_frame(len(leaf)) + leaf
+    ).digest()[: digest_size_bytes(kappa)]
 
 
 def _node_hash(kappa: int, left: bytes, right: bytes) -> bytes:
-    return hash_parts(kappa, _NODE_TAG, left, right)
+    counters.bump("sha256")
+    frame = _length_frame(len(left))
+    return hashlib.sha256(
+        _frame_prefix(_NODE_TAG) + frame + left + _length_frame(len(right))
+        + right
+    ).digest()[: digest_size_bytes(kappa)]
 
 
+@lru_cache(maxsize=None)
 def _empty_hash(kappa: int) -> bytes:
-    return hash_parts(kappa, _EMPTY_TAG)
+    # Process-level memo: the padding digest depends only on kappa.
+    # Deliberately not counted as a sha256 op, so the deterministic
+    # counters do not depend on lru_cache state.  Byte-identical to
+    # hash_parts(kappa, _EMPTY_TAG).
+    return hashlib.sha256(
+        _frame_prefix(_EMPTY_TAG)
+    ).digest()[: digest_size_bytes(kappa)]
 
 
 def build(
@@ -64,19 +97,36 @@ def build(
     """``MT.BUILD``: return the root and one witness per leaf."""
     if not leaves:
         raise ValueError("cannot build a Merkle tree over zero leaves")
+    counters.bump("merkle_build")
     count = len(leaves)
     width = 1
     while width < count:
         width *= 2
 
-    level = [_leaf_hash(kappa, leaf) for leaf in leaves]
+    # Batched leaf hashing: one hashlib call per leaf over a
+    # preassembled buffer instead of per-part update() churn.
+    size = digest_size_bytes(kappa)
+    sha256 = hashlib.sha256
+    leaf_prefix = _frame_prefix(_LEAF_TAG)
+    level = [
+        sha256(
+            leaf_prefix + _length_frame(len(leaf)) + leaf
+        ).digest()[:size]
+        for leaf in leaves
+    ]
+    counters.bump("sha256", count)
     level.extend([_empty_hash(kappa)] * (width - count))
 
     # levels[0] = leaf hashes, levels[-1] = [root]
+    node_prefix = _frame_prefix(_NODE_TAG) + _length_frame(size)
+    mid_frame = _length_frame(size)
     levels = [level]
     while len(level) > 1:
+        counters.bump("sha256", len(level) // 2)
         level = [
-            _node_hash(kappa, level[i], level[i + 1])
+            sha256(
+                node_prefix + level[i] + mid_frame + level[i + 1]
+            ).digest()[:size]
             for i in range(0, len(level), 2)
         ]
         levels.append(level)
@@ -97,6 +147,7 @@ def verify(
     kappa: int, root: bytes, index: int, leaf: bytes, witness: MerkleWitness
 ) -> bool:
     """``MT.VERIFY(z, i, s_i, w_i)``; byzantine-proof (never raises)."""
+    counters.bump("merkle_verify")
     if not isinstance(witness, MerkleWitness):
         return False
     if not isinstance(root, bytes) or not isinstance(leaf, bytes):

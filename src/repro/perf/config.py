@@ -1,0 +1,76 @@
+"""Global switch for the correctness-neutral hot-path caches.
+
+The caches this controls are *byte-for-byte correctness-neutral*: with
+them on or off, every execution produces identical outputs, traces, and
+``CommunicationStats``.  The switch exists so tests can prove exactly
+that (run one config cold, run it warm, compare everything), and so
+micro-benchmarks can quantify what each cache buys.
+
+Gated caches:
+
+* the per-party RS-encode + Merkle-forest memo
+  (:func:`repro.ba.distribution.encode_and_accumulate` /
+  ``decode_with_check``), keyed by ``(n, k, kappa, payload)`` and stored
+  on the execution-scoped :attr:`repro.sim.party.Context.cache`;
+* the inverted-Vandermonde decode-matrix reuse in
+  :meth:`repro.coding.reed_solomon.ReedSolomonCode.decode`, keyed by the
+  sorted share-index tuple.
+
+Not gated (pure code paths, not state): the batched Merkle leaf
+hashing, the memoized ``wire_bits`` on frozen message dataclasses, and
+the zero-fault network fast path -- those compute the same values
+through cheaper code, so there is nothing to switch off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "caches_enabled",
+    "set_caches_enabled",
+    "caches",
+    "reset_process_caches",
+]
+
+_caches_enabled = True
+
+
+def caches_enabled() -> bool:
+    """Whether the execution-scoped hot-path caches are active."""
+    return _caches_enabled
+
+
+def set_caches_enabled(enabled: bool) -> None:
+    """Turn the hot-path caches on or off globally."""
+    global _caches_enabled
+    _caches_enabled = bool(enabled)
+
+
+@contextmanager
+def caches(enabled: bool) -> Iterator[None]:
+    """Temporarily force the caches on or off (A/B test helper)."""
+    previous = _caches_enabled
+    set_caches_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_caches_enabled(previous)
+
+
+def reset_process_caches() -> None:
+    """Drop every process-level memo so the next run starts cold.
+
+    Used by the profiling harness before each measured config: with the
+    process-level ``lru_cache``\\ s cleared, the deterministic counter
+    section of ``BENCH_hotpath.json`` is identical no matter how many
+    configs ran earlier in the same process.
+    """
+    from ..coding.reed_solomon import rs_code
+    from ..crypto import merkle
+
+    rs_code.cache_clear()
+    merkle._empty_hash.cache_clear()
+    merkle._frame_prefix.cache_clear()
+    merkle._length_frame.cache_clear()

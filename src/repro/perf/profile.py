@@ -1,0 +1,245 @@
+"""The ``repro profile`` harness: ``benchmarks/BENCH_hotpath.json``.
+
+Runs a representative set of end-to-end configs and emits a two-section
+benchmark document:
+
+* ``deterministic`` -- per-config operation counters
+  (:mod:`repro.perf.counters`), communication totals, and an output
+  digest.  These are pure functions of the config: identical across
+  runs, machines, and worker counts, so CI can diff them against a
+  committed baseline at **zero tolerance** without flakes
+  (:func:`check_counters`).
+* ``timing`` -- wall-clock seconds per config plus (optionally) the top
+  cProfile hotspots of the heaviest config.  Machine-local and noisy;
+  never gated.
+
+Determinism discipline: before every measured config the harness clears
+the process-level ``lru_cache``\\ s (:func:`repro.perf.config.
+reset_process_caches`) and zeroes the counters, so a config's counter
+section does not depend on what ran earlier in the same process.
+
+This module is imported lazily by the CLI (not from
+``repro.perf.__init__``) because it pulls in the analysis layer, which
+itself imports the crypto/coding modules that import ``repro.perf``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import io
+import json
+import os
+import platform
+import pstats
+import time
+from typing import Any, Sequence
+
+from . import config, counters
+
+__all__ = [
+    "QUICK_CONFIGS",
+    "FULL_CONFIGS",
+    "config_key",
+    "hotpath_document",
+    "check_counters",
+    "save_document",
+    "load_document",
+]
+
+SCHEMA = "repro-hotpath-bench-v1"
+
+#: CI-sized configs: a few seconds total, still exercising every hot
+#: subsystem (RS, Merkle, GF, fast-path network, FindPrefix loop).
+QUICK_CONFIGS: tuple[dict[str, Any], ...] = (
+    dict(protocol="fixed_length_ca", n=4, t=1, ell=256,
+         seed=0, spread="spread"),
+    dict(protocol="fixed_length_ca", n=7, t=2, ell=1024,
+         seed=4, spread="clustered"),
+    dict(protocol="pi_z", n=7, t=2, ell=1024, seed=0, spread="clustered"),
+)
+
+#: The full set adds the long-value configs the paper's bounds are
+#: about, including the headline ``ell = 65536`` benchmark point.
+FULL_CONFIGS: tuple[dict[str, Any], ...] = QUICK_CONFIGS + (
+    dict(protocol="fixed_length_ca", n=10, t=3, ell=4096,
+         seed=0, spread="spread"),
+    dict(protocol="fixed_length_ca", n=7, t=2, ell=65536,
+         seed=4, spread="clustered"),
+    dict(protocol="pi_z", n=7, t=2, ell=16384, seed=0, spread="spread"),
+)
+
+
+def config_key(cfg: dict[str, Any]) -> str:
+    """Stable human-readable id for one profiled config."""
+    return (
+        f"{cfg['protocol']}/n{cfg['n']}/t{cfg['t']}/ell{cfg['ell']}"
+        f"/seed{cfg['seed']}/{cfg['spread']}"
+    )
+
+
+def _output_digest(output: Any) -> str:
+    """Short digest of an execution's agreed output.
+
+    Large-``ell`` outputs are multi-kilobit integers, far beyond the
+    interpreter's int->str conversion limit, so integers are digested
+    from their two's-complement bytes rather than their repr.
+    """
+    if isinstance(output, int):
+        width = (output.bit_length() + 8) // 8 + 1
+        data = b"int:" + output.to_bytes(width, "big", signed=True)
+    else:
+        data = repr(output).encode()
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def _run_config(cfg: dict[str, Any]) -> tuple[dict[str, Any], float]:
+    """Run one config cold; return its deterministic entry + wall time."""
+    from ..analysis.experiments import measure
+
+    config.reset_process_caches()
+    counters.reset()
+    started = time.perf_counter()
+    m = measure(**cfg)
+    wall_s = time.perf_counter() - started
+    entry = {
+        "params": dict(cfg),
+        "counters": counters.snapshot(),
+        "bits": m.bits,
+        "rounds": m.rounds,
+        "messages": m.messages,
+        "output_sha256": _output_digest(m.output),
+    }
+    return entry, wall_s
+
+
+def _hotspots(cfg: dict[str, Any], top: int) -> list[dict[str, Any]]:
+    """Top ``top`` functions by cumulative time under cProfile."""
+    from ..analysis.experiments import measure
+
+    config.reset_process_caches()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    measure(**cfg)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: -item[1][3]
+    ):
+        filename, lineno, name = func
+        if "cProfile" in name or filename == "~":
+            continue
+        rows.append(
+            {
+                "function": f"{os.path.basename(filename)}:{lineno}({name})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+        if len(rows) >= top:
+            break
+    return rows
+
+
+def hotpath_document(
+    quick: bool = False,
+    cprofile: bool = True,
+    top: int = 15,
+    configs: Sequence[dict[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """Run the profile battery and build the benchmark document."""
+    chosen = list(
+        configs if configs is not None
+        else (QUICK_CONFIGS if quick else FULL_CONFIGS)
+    )
+    deterministic: dict[str, Any] = {}
+    wall: dict[str, float] = {}
+    for cfg in chosen:
+        key = config_key(cfg)
+        entry, wall_s = _run_config(cfg)
+        deterministic[key] = entry
+        wall[key] = round(wall_s, 6)
+    timing: dict[str, Any] = {
+        "wall_s": wall,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if cprofile and chosen:
+        heaviest = max(chosen, key=lambda cfg: cfg["ell"] * cfg["n"])
+        timing["hotspots"] = {
+            "config": config_key(heaviest),
+            "top": _hotspots(heaviest, top),
+        }
+    return {
+        "schema": SCHEMA,
+        "quick": bool(quick) if configs is None else None,
+        "deterministic": deterministic,
+        "timing": timing,
+    }
+
+
+def check_counters(
+    new: dict[str, Any], baseline: dict[str, Any]
+) -> tuple[list[str], list[str]]:
+    """Diff two documents' deterministic sections at zero tolerance.
+
+    Returns ``(errors, notes)``: *errors* are regressions or behaviour
+    changes (any counter above baseline, any bits/rounds/messages/output
+    mismatch, a profiled config absent from the baseline) and should
+    fail CI; *notes* are strict improvements (counters below baseline),
+    which mean the committed baseline is stale and should be refreshed.
+    Baseline configs the new run skipped are also notes: the committed
+    baseline covers the *full* battery while the CI gate runs the
+    ``--quick`` subset of it.
+    """
+    errors: list[str] = []
+    notes: list[str] = []
+    new_det = new.get("deterministic", {})
+    base_det = baseline.get("deterministic", {})
+    for key in sorted(set(base_det) - set(new_det)):
+        notes.append(f"{key}: baseline config not profiled in this run")
+    for key in sorted(set(new_det) - set(base_det)):
+        errors.append(f"{key}: config not in the baseline")
+    for key in sorted(set(new_det) & set(base_det)):
+        new_entry, base_entry = new_det[key], base_det[key]
+        for scalar in ("bits", "rounds", "messages", "output_sha256"):
+            if new_entry.get(scalar) != base_entry.get(scalar):
+                errors.append(
+                    f"{key}: {scalar} changed "
+                    f"{base_entry.get(scalar)!r} -> {new_entry.get(scalar)!r}"
+                )
+        new_counts = new_entry.get("counters", {})
+        base_counts = base_entry.get("counters", {})
+        for name in sorted(set(new_counts) | set(base_counts)):
+            after = new_counts.get(name, 0)
+            before = base_counts.get(name, 0)
+            if after > before:
+                errors.append(
+                    f"{key}: counter {name} regressed {before} -> {after}"
+                )
+            elif after < before:
+                notes.append(
+                    f"{key}: counter {name} improved {before} -> {after} "
+                    "(refresh the committed baseline)"
+                )
+    return errors, notes
+
+
+def save_document(document: dict[str, Any], path: str) -> str:
+    """Write the benchmark document as stable, diffable JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_document(path: str) -> dict[str, Any]:
+    """Read a benchmark document back."""
+    with open(path) as handle:
+        return json.load(handle)

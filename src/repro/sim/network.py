@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigurationError, ProtocolViolation, SimulationError
+from ..perf import counters
 from .adversary import Adversary, PassiveAdversary, RoundView
 from .invariants import InvariantMonitor
 from .lossy import LossyTransport, TransportTimeout
@@ -243,6 +244,18 @@ class SynchronousNetwork:
             if wants_recovery
             else None
         )
+        #: Fast-path eligibility: with no lossy transport, no crash or
+        #: recovery plane, and the exact PassiveAdversary (which relays
+        #: corrupted parties' spec messages verbatim, never adapts, and
+        #: never crashes anyone), round delivery is a pure function of
+        #: the yielded Outgoing bundles and can skip the per-link dict
+        #: churn and the RoundView.  Byte-identical by construction; see
+        #: :meth:`_finish_round_fast`.
+        self._fast_path = (
+            transport is None
+            and self._recovery is None
+            and type(self.adversary) is PassiveAdversary
+        )
         #: honest parties currently powered off (crash plane).
         self.down: set[int] = set()
         #: restart round -> parties whose WAL replays at its start.
@@ -429,6 +442,93 @@ class SynchronousNetwork:
             self.crash_log.append(("down", down_round, party))
         return accepted, clipped
 
+    def _finish_round_fast(
+        self,
+        round_index: int,
+        outgoings: dict[int, Outgoing],
+        honest_channels: set[str],
+    ) -> None:
+        """Deliver one round with no fault plane armed.
+
+        Valid only under :attr:`_fast_path` conditions, where the
+        general path degenerates to "deliver every yielded message
+        verbatim": honest messages first in party order, then corrupted
+        parties' spec messages -- exactly the inbox insertion order the
+        general path produces, so ``distribute``'s first-valid-tuple
+        scan sees identical dicts.  Stats, counters, channel trace, and
+        (when requested) the :class:`RoundRecord` are byte-identical;
+        only the per-link dict churn and the RoundView are skipped.
+        """
+        n = self.n
+        stats = self.stats
+        corrupted = self.corrupted
+        inboxes: dict[int, dict[int, Any]] = {
+            party: {} for party in self._states
+        }
+        round_bits = 0
+        round_messages = 0
+        byz_count = 0
+        for party, out in outgoings.items():
+            if party in corrupted:
+                continue
+            channel = out.channel
+            # A broadcast reuses one payload object for every
+            # destination; sizing it once per object is exact (bit_size
+            # is pure) and skips the dominant per-message cost.
+            payload_bits: dict[int, int] = {}
+            for dst, payload in out.messages.items():
+                if not 0 <= dst < n:
+                    continue
+                inboxes[dst][party] = payload
+                if dst != party:
+                    key = id(payload)
+                    bits = payload_bits.get(key)
+                    if bits is None:
+                        bits = bit_size(payload)
+                        payload_bits[key] = bits
+                    stats.record_send(party, channel, bits)
+                    round_bits += bits
+                    round_messages += 1
+        for party, out in outgoings.items():
+            if party not in corrupted:
+                continue
+            for dst, payload in out.messages.items():
+                if 0 <= dst < n:
+                    inboxes[dst][party] = payload
+                    byz_count += 1
+        for party, state in self._states.items():
+            state.inbox = inboxes[party]
+        stats.record_round()
+        counters.bump("net_rounds")
+        counters.bump("net_messages", round_messages + byz_count)
+
+        if self.trace is None and not self.monitors:
+            return
+        record = RoundRecord(
+            round_index=round_index,
+            channel=(
+                next(iter(honest_channels)) if honest_channels else ""
+            ),
+            honest_messages=round_messages,
+            honest_bits=round_bits,
+            byzantine_messages=byz_count,
+            corrupted=frozenset(corrupted),
+            finished_parties=frozenset(
+                p for p, s in self._states.items() if s.finished
+            ),
+            honest_channels=tuple(sorted(honest_channels)),
+            new_corruptions=frozenset(),
+            clipped_corruptions=frozenset(),
+            down_parties=frozenset(),
+            restarted_parties=frozenset(),
+            new_crashes=frozenset(),
+            clipped_crashes=frozenset(),
+        )
+        if self.trace is not None:
+            self.trace.append(record)
+        for monitor in self.monitors:
+            self._monitored(monitor.on_round, record, self)
+
     def _run_round(self, round_index: int) -> None:
         # 0. Crash plane: restarts due now, then declarative crashes
         # whose down round is now (both before any generator resumes).
@@ -486,6 +586,10 @@ class SynchronousNetwork:
             )
         if honest_channels:
             self.channel_trace.append(next(iter(honest_channels)))
+
+        if self._fast_path:
+            self._finish_round_fast(round_index, outgoings, honest_channels)
+            return
 
         honest_outgoing: dict[tuple[int, int], Any] = {}
         spec_outgoing: dict[tuple[int, int], Any] = {}
@@ -575,6 +679,8 @@ class SynchronousNetwork:
                         party, round_index, inboxes[party], out
                     )
         self.stats.record_round()
+        counters.bump("net_rounds")
+        counters.bump("net_messages", round_messages + byz_count)
 
         # 5. Adaptive corruptions (effective next round).  An over-budget
         # ``adapt()`` is clipped deterministically; the clipped parties

@@ -56,12 +56,17 @@ class Context:
         n: Total number of parties.
         t: Maximum number of corruptions tolerated; ``t < n/3``.
         kappa: Security parameter -- output length of ``H_kappa`` in bits.
+        cache: Execution-scoped memo space for pure recomputations
+            (RS encodings, Merkle forests).  Excluded from equality and
+            repr; each party gets a fresh dict per execution, so entries
+            never leak across parties, executions, or worker processes.
     """
 
     party_id: int
     n: int
     t: int
     kappa: int = 128
+    cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.n <= 0:

@@ -25,9 +25,10 @@ paper's counting arguments.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Any
+from functools import wraps
+from typing import Any, Callable
 
-__all__ = ["bit_size", "WireSized"]
+__all__ = ["bit_size", "WireSized", "memoized_wire_bits"]
 
 
 class WireSized:
@@ -36,6 +37,28 @@ class WireSized:
     def wire_bits(self) -> int:
         """This object's compact wire size in bits."""
         raise NotImplementedError
+
+
+def memoized_wire_bits(compute: Callable[[Any], int]) -> Callable[[Any], int]:
+    """Cache a frozen dataclass's ``wire_bits`` on the instance.
+
+    Message objects are immutable, but the simulator prices them on
+    every send -- and the lossy transport on every retransmit, the
+    recovery plane on every WAL re-delivery.  The memo turns that into
+    one computation per object; being instance-scoped it is inherently
+    execution-scoped (messages are built fresh per party per run) and
+    cannot change the value, only how often it is recomputed.
+    """
+
+    @wraps(compute)
+    def wire_bits(self) -> int:
+        cached = self.__dict__.get("_wire_bits_memo")
+        if cached is None:
+            cached = compute(self)
+            object.__setattr__(self, "_wire_bits_memo", cached)
+        return cached
+
+    return wire_bits
 
 
 def bit_size(payload: Any) -> int:
