@@ -1,0 +1,208 @@
+"""F7 -- the price of partial synchrony.
+
+The paper's bounds assume lockstep synchrony.  The partial-synchrony
+plane keeps executions *byte-identical* in the paper's own metric
+(``honest_bits``) whenever the network stabilizes inside the escalated
+budgets, and fails over (HighCostCA -> async AA) when it never does.
+This module measures what the resilience costs instead: decision
+latency in physical transport slots and separately-accounted overhead
+bits, swept against
+
+* the Global Stabilization Time (pre-GST loss until ``gst``), and
+* the heal time of a partition isolating one party -- including the
+  never-healing end point that descends the failover ladder.
+
+Besides the end-of-session tables, every sweep point lands in
+``benchmarks/BENCH_partition.json`` for dashboards and regression
+scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import Measurement
+from repro.core.fixed_length import fixed_length_ca
+from repro.errors import SimulationError
+from repro.sim import (
+    PartialSyncTransport,
+    TimeoutEscalation,
+    run_protocol,
+    run_with_escalation,
+)
+
+from conftest import record, run_measured
+
+N, T = 7, 2
+ELL = 64
+KAPPA = 128
+
+#: GST sweep: stabilization times in global transport slots.
+GST_POINTS = (0, 64, 128, 256, 384)
+PRE_GST_DROP = 0.5
+
+#: heal-time sweep for a partition isolating party 0; -1 never heals
+#: and exercises the failover ladder instead of the escalated retries.
+HEAL_POINTS = (64, 128, 256, 512, -1)
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_partition.json")
+
+#: JSON-ready sweep points drained by the module teardown emitter.
+_POINTS: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    """Write the collected sweeps as machine-readable JSON on teardown."""
+    yield
+    if not _POINTS:
+        return
+    document = {
+        "schema": "repro.bench_partial_sync/v1",
+        "experiment": "F7",
+        "config": {
+            "n": N, "t": T, "ell": ELL, "kappa": KAPPA,
+            "pre_gst_drop": PRE_GST_DROP,
+        },
+        "points": _POINTS,
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def make_inputs(n: int = N) -> list[int]:
+    base = 1 << (ELL - 1)
+    return [base + 1000 * i for i in range(n)]
+
+
+def _factory():
+    return lambda ctx, v: fixed_length_ca(ctx, v, ELL)
+
+
+def _point(axis, value, result, transport) -> dict:
+    stats = result.stats
+    fallback = result.fallback
+    return {
+        "axis": axis,
+        "value": value,
+        "rung": "primary" if fallback is None else fallback.rung,
+        "decision_latency_slots": transport.clock,
+        "honest_bits": stats.honest_bits,
+        "overhead_bits": stats.resilience_overhead_bits,
+        "beacon_bits": stats.beacon_bits,
+        "resyncs": stats.resync_attempts + (
+            0 if fallback is None else fallback.resyncs
+        ),
+        "escalated_rounds": stats.escalated_rounds,
+    }
+
+
+def _measure(result, n: int, t: int) -> Measurement:
+    outputs = [result.outputs[p] for p in result.honest_parties]
+    return Measurement(
+        protocol="fixed_length_ca",
+        n=n, t=t, ell=ELL, kappa=KAPPA,
+        bits=result.stats.honest_bits,
+        rounds=result.stats.rounds,
+        messages=result.stats.honest_messages,
+        output=min(outputs),
+    )
+
+
+def run_gst_point(gst: int) -> Measurement:
+    inputs = make_inputs()
+    transport = PartialSyncTransport(
+        gst=gst, pre_gst_drop=PRE_GST_DROP, seed=13,
+    )
+    result = run_with_escalation(
+        _factory(), inputs, n=N, t=T, kappa=KAPPA, transport=transport,
+    )
+    # a stabilizing network never leaves the optimal path...
+    assert result.fallback is None
+    # ...and the paper's metric is untouched by the slow start.
+    baseline = run_protocol(_factory(), inputs, n=N, t=T, kappa=KAPPA)
+    assert result.stats.honest_bits == baseline.stats.honest_bits
+    _POINTS.append(_point("gst", gst, result, transport))
+    return _measure(result, N, T)
+
+
+def run_heal_point(heal: int) -> Measurement:
+    # t=1 keeps the async rung feasible (5t < n) at the -1 end point.
+    n, t = N, 1
+    inputs = make_inputs(n)
+    transport = PartialSyncTransport(
+        partitions=((0, heal, (0,)),), seed=13,
+        slot_budget=32, escalation=TimeoutEscalation(max_attempts=4),
+    )
+    result = run_with_escalation(
+        _factory(), inputs, n=n, t=t, kappa=KAPPA, transport=transport,
+        epsilon=1,
+    )
+    if heal == -1:
+        assert result.fallback is not None
+    _POINTS.append(_point("heal", heal, result, transport))
+    return _measure(result, n, t)
+
+
+@pytest.mark.parametrize("gst", GST_POINTS)
+def test_latency_and_overhead_vs_gst(benchmark, gst):
+    m = run_measured(benchmark, "F7", f"gst={gst}", lambda: run_gst_point(gst))
+    assert m.bits > 0
+
+
+@pytest.mark.parametrize("heal", HEAL_POINTS)
+def test_latency_and_overhead_vs_heal_time(benchmark, heal):
+    label = "never" if heal == -1 else str(heal)
+    m = run_measured(
+        benchmark, "F7", f"heal={label}", lambda: run_heal_point(heal)
+    )
+    assert m.bits > 0
+
+
+def test_overhead_grows_with_gst(benchmark):
+    """Later stabilization costs more overhead bits and slots -- but
+    the same honest bits (the paper's bound is GST-invariant here)."""
+
+    def sweep():
+        return [run_gst_point(gst) for gst in (0, 256)]
+
+    early, late = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("F7", "gst sweep endpoints", late)
+    assert early.bits == late.bits
+    early_point = next(
+        p for p in reversed(_POINTS)
+        if p["axis"] == "gst" and p["value"] == 0
+    )
+    late_point = next(
+        p for p in reversed(_POINTS)
+        if p["axis"] == "gst" and p["value"] == 256
+    )
+    assert late_point["overhead_bits"] > early_point["overhead_bits"]
+    assert (
+        late_point["decision_latency_slots"]
+        > early_point["decision_latency_slots"]
+    )
+
+
+def test_never_healing_descends_the_ladder(benchmark):
+    """The -1 end point degrades instead of hanging: the recorded rung
+    is a failover, never an unhandled exception."""
+
+    def run():
+        try:
+            return run_heal_point(-1)
+        except SimulationError:  # pragma: no cover - ladder exhaustion
+            pytest.fail("failover ladder must absorb the broken network")
+
+    m = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("F7", "heal=never (failover)", m)
+    point = next(
+        p for p in reversed(_POINTS)
+        if p["axis"] == "heal" and p["value"] == -1
+    )
+    assert point["rung"] in ("high_cost_ca", "async_aa")
+    assert point["resyncs"] > 0

@@ -70,6 +70,7 @@ def convex_agreement(
     max_rounds: int = 200_000,
     monitors: Any = (),
     degrade: bool = False,
+    transport: Any = None,
 ) -> ConvexAgreementOutcome:
     """Run ``PI_Z`` on integer inputs and return the agreed value.
 
@@ -90,6 +91,10 @@ def convex_agreement(
             ``HighCostCA`` path so the call still ends with a
             convex-valid value; the fallback is recorded on
             ``outcome.execution.fallback``.
+        transport: optional lossy / partial-synchrony transport
+            (:class:`repro.sim.LossyTransport` or
+            :class:`repro.sim.PartialSyncTransport`) the simulated
+            rounds synchronize over instead of the perfect network.
 
     Returns:
         A :class:`ConvexAgreementOutcome`; its ``value`` is the common
@@ -126,6 +131,7 @@ def convex_agreement(
             adversary=adversary,
             max_rounds=max_rounds,
             monitors=monitors,
+            transport=transport,
         )
     else:
         execution = run_protocol(
@@ -137,6 +143,7 @@ def convex_agreement(
             adversary=adversary,
             max_rounds=max_rounds,
             monitors=monitors,
+            transport=transport,
         )
     return ConvexAgreementOutcome(
         value=execution.common_output(), execution=execution

@@ -22,6 +22,11 @@ counter               bumped by
 ``encode_cache_miss`` the corresponding cold computations
 ``net_rounds``        synchronous rounds the network delivered
 ``net_messages``      payloads placed in inboxes (honest + byzantine)
+``transport_resyncs`` round-resync escalations the lossy/partial-sync
+                      synchronizer performed (one per exhausted slot
+                      budget that was retried instead of timing out)
+``transport_beacons`` resync beacon frames exchanged during those
+                      escalations
 ===================== ====================================================
 
 Counters are process-global (observability, not protocol state) and

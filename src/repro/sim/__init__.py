@@ -11,8 +11,12 @@ execution engine that fans independent cases out over workers
 (:mod:`repro.sim.parallel`), and a resilience layer beneath the round
 abstraction: lossy links with an ack/retransmit round synchronizer
 (:mod:`repro.sim.lossy`), crash-recovery via per-party write-ahead logs
-(:mod:`repro.sim.recovery`), and graceful degradation to the
-self-contained ``HighCostCA`` path (:mod:`repro.sim.supervisor`).
+(:mod:`repro.sim.recovery`), graceful degradation to the
+self-contained ``HighCostCA`` path (:mod:`repro.sim.supervisor`), and
+a partial-synchrony plane -- GST-style transports with healing
+partitions and link churn (:mod:`repro.sim.partial_sync`), PBFT-style
+timeout escalation in the round synchronizer, and an escalation ladder
+down to asynchronous Approximate Agreement.
 """
 
 from .adversary import (
@@ -45,16 +49,24 @@ from .invariants import (
     ConvexValidityMonitor,
     CrashBudgetMonitor,
     InvariantMonitor,
+    LivenessMonitor,
     LockstepMonitor,
     RoundBudgetMonitor,
     default_monitors,
     paper_bit_budget,
     paper_round_budget,
 )
-from .lossy import ACK_BITS, LossyTransport, TransportTimeout
+from .lossy import (
+    ACK_BITS,
+    BEACON_BITS,
+    LossyTransport,
+    TimeoutEscalation,
+    TransportTimeout,
+)
 from .metrics import CommunicationStats
 from .network import ExecutionResult, SynchronousNetwork, default_round_budget
 from .parallel import CaseOutcome, derive_seed, resolve_workers, run_many
+from .partial_sync import PartialSyncTransport, stabilization_time_of
 from .recovery import (
     CrashEvent,
     CrashRestartAdversary,
@@ -63,7 +75,7 @@ from .recovery import (
     RecoveryManager,
     WriteAheadLog,
 )
-from .supervisor import FallbackRecord, run_with_fallback
+from .supervisor import FallbackRecord, run_with_escalation, run_with_fallback
 from .combinators import run_parallel
 from .party import Context, Outgoing, Proto, broadcast_round, exchange
 from .runner import run_protocol
@@ -72,6 +84,7 @@ from .sizing import bit_size
 
 __all__ = [
     "ACK_BITS",
+    "BEACON_BITS",
     "DROP",
     "AdaptiveCorruptionAdversary",
     "Adversary",
@@ -86,7 +99,9 @@ __all__ = [
     "CrashEvent",
     "CrashRestartAdversary",
     "FallbackRecord",
+    "LivenessMonitor",
     "LossyTransport",
+    "PartialSyncTransport",
     "RecoveryConfig",
     "RecoveryError",
     "RecoveryManager",
@@ -113,6 +128,7 @@ __all__ = [
     "SplitVoteAdversary",
     "RoundRecord",
     "SynchronousNetwork",
+    "TimeoutEscalation",
     "WitnessSuppressionAdversary",
     "CaseOutcome",
     "bit_size",
@@ -127,7 +143,9 @@ __all__ = [
     "paper_round_budget",
     "run_parallel",
     "run_protocol",
+    "run_with_escalation",
     "run_with_fallback",
+    "stabilization_time_of",
     "summarize_trace",
     "standard_adversary_suite",
 ]

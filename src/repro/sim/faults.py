@@ -112,6 +112,29 @@ class FaultSpec:
     #: crash plane: ``(party, down_round, up_round)`` windows, realised
     #: through the adversary's ``crash_restarts`` hook (down_round >= 1).
     crashes: tuple[tuple[int, int, int], ...] = ()
+    #: partial-synchrony plane (realised by a
+    #: :class:`~repro.sim.partial_sync.PartialSyncTransport`).  All
+    #: windows are keyed in *global transport slots* -- the monotone
+    #: physical clock the synchronizer advances across rounds and
+    #: escalation attempts -- never in round indices, because a
+    #: partitioned round does not advance its round index while it
+    #: waits for the network to heal.
+    #:
+    #: ``gst``: the Global Stabilization Time; before it the adversary
+    #: schedules delays (``pre_gst_drop``), after it only the baseline
+    #: ``link_*`` rates apply.  ``None`` disables the GST axis.
+    gst: int | None = None
+    #: additional drop rate applied to every link before ``gst``.
+    pre_gst_drop: float = 0.0
+    #: partition windows ``(start_slot, heal_slot, members)``: links
+    #: crossing the ``members``-vs-rest boundary are deterministically
+    #: severed while ``start_slot <= clock < heal_slot``.  A
+    #: ``heal_slot`` of ``-1`` never heals.
+    partitions: tuple[tuple[int, int, tuple[int, ...]], ...] = ()
+    #: churn windows ``(start_slot, end_slot, extra_drop)``: the link
+    #: drop rate is raised to at least ``extra_drop`` inside the window
+    #: (link slowdown/flap schedules).
+    link_churn: tuple[tuple[int, int, float], ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -139,6 +162,51 @@ class FaultSpec:
                 )
             if party < 0:
                 raise ValueError(f"crash {event}: party must be >= 0")
+        if self.gst is not None:
+            if isinstance(self.gst, bool) or not isinstance(self.gst, int):
+                raise ValueError(
+                    f"gst must be an integer slot count, got {self.gst!r}"
+                )
+            if self.gst < 0:
+                raise ValueError(f"gst must be >= 0, got {self.gst}")
+        if not 0.0 <= self.pre_gst_drop < 1.0:
+            raise ValueError(
+                f"pre_gst_drop rate {self.pre_gst_drop} outside [0, 1)"
+            )
+        if self.pre_gst_drop and self.gst is None:
+            raise ValueError(
+                "pre_gst_drop needs a gst -- without a stabilization "
+                "time the extra loss would never end"
+            )
+        for window in self.partitions:
+            start, heal, members = window
+            if start < 0:
+                raise ValueError(
+                    f"partition {window}: start_slot must be >= 0"
+                )
+            if heal != -1 and heal <= start:
+                raise ValueError(
+                    f"partition {window}: heal_slot must exceed "
+                    "start_slot (or be -1 for never)"
+                )
+            if not members:
+                raise ValueError(
+                    f"partition {window}: members must be non-empty"
+                )
+            if any(party < 0 for party in members):
+                raise ValueError(
+                    f"partition {window}: members must be >= 0"
+                )
+        for window in self.link_churn:
+            start, end, extra = window
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"churn {window}: need 0 <= start_slot < end_slot"
+                )
+            if not 0.0 <= extra < 1.0:
+                raise ValueError(
+                    f"churn {window}: extra_drop {extra} outside [0, 1)"
+                )
 
     @property
     def is_noop(self) -> bool:
@@ -146,6 +214,7 @@ class FaultSpec:
         return not (
             self.drop or self.duplicate or self.garble or self.replay
             or self.has_link_faults or self.has_crashes
+            or self.has_partial_sync
         )
 
     @property
@@ -163,6 +232,18 @@ class FaultSpec:
         """True when the spec schedules crash/restart windows."""
         return bool(self.crashes)
 
+    @property
+    def has_partial_sync(self) -> bool:
+        """True when the spec carries partial-synchrony axes."""
+        return bool(
+            self.gst is not None or self.partitions or self.link_churn
+        )
+
+    @property
+    def heals(self) -> bool:
+        """True when every scheduled partition eventually heals."""
+        return all(heal != -1 for _, heal, _ in self.partitions)
+
     def describe(self) -> str:
         active = [
             f"{name}={getattr(self, name)}"
@@ -174,6 +255,18 @@ class FaultSpec:
         ]
         if self.crashes:
             active.append(f"crashes={len(self.crashes)}")
+        if self.gst is not None:
+            active.append(f"gst={self.gst}")
+            if self.pre_gst_drop:
+                active.append(f"pre_gst_drop={self.pre_gst_drop}")
+        if self.partitions:
+            healing = sum(1 for _, heal, _ in self.partitions if heal != -1)
+            active.append(
+                f"partitions={len(self.partitions)}"
+                f"({healing} healing)"
+            )
+        if self.link_churn:
+            active.append(f"churn={len(self.link_churn)}")
         scope = "all" if self.links is None else f"{len(self.links)} links"
         return f"FaultSpec({', '.join(active) or 'noop'}, links={scope})"
 
@@ -193,6 +286,13 @@ class FaultSpec:
             "link_delay": self.link_delay,
             "link_reorder": self.link_reorder,
             "crashes": [list(event) for event in self.crashes],
+            "gst": self.gst,
+            "pre_gst_drop": self.pre_gst_drop,
+            "partitions": [
+                [start, heal, list(members)]
+                for start, heal, members in self.partitions
+            ],
+            "link_churn": [list(window) for window in self.link_churn],
         }
 
     @classmethod
@@ -213,6 +313,16 @@ class FaultSpec:
             link_reorder=data.get("link_reorder", 0.0),
             crashes=tuple(
                 tuple(event) for event in data.get("crashes", ())
+            ),
+            gst=data.get("gst"),
+            pre_gst_drop=data.get("pre_gst_drop", 0.0),
+            partitions=tuple(
+                (start, heal, tuple(members))
+                for start, heal, members in data.get("partitions", ())
+            ),
+            link_churn=tuple(
+                (start, end, extra)
+                for start, end, extra in data.get("link_churn", ())
             ),
         )
 

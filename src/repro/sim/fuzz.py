@@ -36,7 +36,8 @@ import json
 import math
 import os
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
 from typing import Any, Callable
 
 from ..core.bitstrings import BitString
@@ -61,6 +62,7 @@ from .invariants import (
     BitBudgetMonitor,
     ConvexValidityMonitor,
     InvariantMonitor,
+    LivenessMonitor,
     LockstepMonitor,
     RoundBudgetMonitor,
     paper_bit_budget,
@@ -68,11 +70,13 @@ from .invariants import (
 )
 from .network import ProtocolFactory, SynchronousNetwork
 from .parallel import derive_seed, resolve_workers, run_many
+from .supervisor import run_with_escalation
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ADVERSARY_CATALOG",
     "ProtocolSpec",
+    "CaseStats",
     "FuzzCase",
     "FuzzFailure",
     "FuzzReport",
@@ -80,6 +84,7 @@ __all__ = [
     "sample_case",
     "sample_case_at",
     "run_case",
+    "run_case_ex",
     "shrink_failure",
     "failure_to_artifact",
     "save_artifact",
@@ -333,21 +338,28 @@ _FAULT_RATES = (0.0, 0.05, 0.2, 0.5)
 #: honest-link loss rates stay < 1 (the synchronizer must converge) and
 #: modest (every drop costs simulated backoff slots).
 _LINK_RATES = (0.0, 0.05, 0.2)
+#: pre-GST extra loss rates the partition campaigns sample.
+_PRE_GST_RATES = (0.0, 0.3, 0.6)
 
 
 def sample_case(
     rng: random.Random,
     registry: dict[str, ProtocolSpec],
     crash: bool = False,
+    partition: bool = False,
 ) -> FuzzCase:
     """Draw one chaos configuration from the campaign distribution.
 
     ``crash=True`` additionally samples the resilience-plane axes:
     honest-link drop/delay/reorder rates (realised by a
     ``LossyTransport``) and up to ``t`` crash/restart windows for honest
-    parties (realised by WAL replay).  The extra draws are gated on the
-    flag, so ``crash=False`` campaigns sample exactly the same cases as
-    before the crash plane existed.
+    parties (realised by WAL replay).  ``partition=True`` further
+    samples the partial-synchrony axes: a GST with pre-GST extra loss,
+    healing (or never-healing) partition windows, and link-churn
+    slowdown windows, all keyed in global transport slots.  Every extra
+    draw is gated on its flag and appended *after* the existing draws,
+    so ``crash=False`` / ``partition=False`` campaigns sample exactly
+    the same cases as before each plane existed.
     """
     name = rng.choice(sorted(registry))
     spec = registry[name]
@@ -376,6 +388,34 @@ def sample_case(
             up = down + rng.randint(1, 5)
             windows[party] = (party, down, up)
         crashes = tuple(windows[party] for party in sorted(windows))
+    gst: int | None = None
+    pre_gst_drop = 0.0
+    partitions: tuple[tuple[int, int, tuple[int, ...]], ...] = ()
+    link_churn: tuple[tuple[int, int, float], ...] = ()
+    if partition:
+        if rng.random() < 0.7:
+            gst = rng.randrange(0, 400)
+            pre_gst_drop = rng.choice(_PRE_GST_RATES)
+        part_windows: list[tuple[int, int, tuple[int, ...]]] = []
+        for _ in range(rng.randint(0, 2)):
+            start = rng.randrange(0, 300)
+            # most partitions heal inside the escalated budgets; a
+            # never-healing one exercises the failover ladder end to end.
+            heal = (
+                -1
+                if rng.random() < 0.15
+                else start + rng.randint(20, 400)
+            )
+            size = rng.randint(1, n - 1)
+            members = tuple(sorted(rng.sample(range(n), size)))
+            part_windows.append((start, heal, members))
+        partitions = tuple(part_windows)
+        churn_windows: list[tuple[int, int, float]] = []
+        for _ in range(rng.randint(0, 2)):
+            start = rng.randrange(0, 300)
+            end = start + rng.randint(10, 200)
+            churn_windows.append((start, end, rng.choice((0.3, 0.6))))
+        link_churn = tuple(churn_windows)
     faults = FaultSpec(
         drop=drop,
         duplicate=duplicate,
@@ -386,6 +426,10 @@ def sample_case(
         link_delay=link_delay,
         link_reorder=link_reorder,
         crashes=crashes,
+        gst=gst,
+        pre_gst_drop=pre_gst_drop,
+        partitions=partitions,
+        link_churn=link_churn,
     )
     return FuzzCase(
         protocol=name,
@@ -405,6 +449,7 @@ def sample_case_at(
     index: int,
     registry: dict[str, ProtocolSpec],
     crash: bool = False,
+    partition: bool = False,
 ) -> FuzzCase:
     """Case ``index`` of the campaign with seed ``campaign_seed``.
 
@@ -415,7 +460,7 @@ def sample_case_at(
     campaigns replicate serial ones exactly.
     """
     rng = random.Random(derive_seed(campaign_seed, index))
-    return sample_case(rng, registry, crash=crash)
+    return sample_case(rng, registry, crash=crash, partition=partition)
 
 
 def case_inputs(case: FuzzCase) -> list[int]:
@@ -518,6 +563,23 @@ class FuzzFailure:
     shrink_runs: int = 0
     original_script_size: int = 0
 
+    @property
+    def budgeted(self) -> bool:
+        """A spec-compliant terminal outcome, not a protocol bug.
+
+        An exhausted escalation ladder is the documented end state for
+        network schedules no rung can survive (e.g. a never-healing
+        partition with ``5t >= n``, where the async rung is
+        infeasible).  Such failures are still shrunk and archived --
+        they are replayable evidence of the schedule -- but a soak
+        campaign may tolerate them while staying fatal on everything
+        else.
+        """
+        return (
+            self.kind == "SimulationError"
+            and "escalation ladder exhausted" in self.message
+        )
+
 
 @dataclass
 class FuzzReport:
@@ -533,33 +595,60 @@ class FuzzReport:
     workers: int = 1
     #: the campaign sampled the crash/link resilience axes too.
     crash: bool = False
+    #: the campaign sampled the partial-synchrony axes too.
+    partition: bool = False
     #: execution-engine incidents: cases whose worker process died, and
     #: cases that exceeded the per-case time budget.  Both also appear
     #: as ``ExecutionEngine`` failures; the counts make the engine's
     #: health visible at a glance in the summary and CLI output.
     worker_crashes: int = 0
     case_timeouts: int = 0
+    #: timeout-escalation accounting across the campaign's completed
+    #: cases: total transport-level resyncs, cases that needed at least
+    #: one, and degradations per escalation-ladder rung.
+    resyncs: int = 0
+    escalated_cases: int = 0
+    degradations: dict[str, int] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
         return not self.failures
 
+    @property
+    def unbudgeted_failures(self) -> list[FuzzFailure]:
+        """Failures that are genuine bugs, not budgeted ladder ends."""
+        return [f for f in self.failures if not f.budgeted]
+
     def summary(self) -> str:
         crash_tag = ", crash plane" if self.crash else ""
+        partition_tag = ", partition plane" if self.partition else ""
         lines = [
             f"fuzz campaign: {self.runs} runs, seed {self.seed}"
-            f"{crash_tag}, {len(self.failures)} failure(s)"
+            f"{crash_tag}{partition_tag}, {len(self.failures)} failure(s)"
         ]
         if self.worker_crashes or self.case_timeouts:
             lines.append(
                 f"  engine: {self.worker_crashes} worker crash(es), "
                 f"{self.case_timeouts} case timeout(s)"
             )
+        if self.resyncs or self.escalated_cases or self.degradations:
+            rungs = ", ".join(
+                f"{rung}: {count}"
+                for rung, count in sorted(self.degradations.items())
+            )
+            lines.append(
+                f"  escalation: {self.resyncs} timeout escalation(s) "
+                f"across {self.escalated_cases} case(s)"
+                + (f"; degraded -> {rungs}" if rungs else "")
+            )
         for index, failure in enumerate(self.failures):
             path = (
                 self.artifacts[index] if index < len(self.artifacts) else None
             )
-            lines.append(f"  [{failure.kind}] {failure.case.describe()}")
+            tag = " (budgeted)" if failure.budgeted else ""
+            lines.append(
+                f"  [{failure.kind}]{tag} {failure.case.describe()}"
+            )
             lines.append(f"    {failure.message}")
             if failure.shrunk:
                 lines.append(
@@ -572,13 +661,94 @@ class FuzzReport:
         return "\n".join(lines)
 
 
+def _case_epsilon(case: FuzzCase) -> int:
+    """Coarse async-AA epsilon for a case: a few convergence iterations.
+
+    The AA rung costs ``O(log(range/eps))`` iterations of ``n`` RBC
+    instances; a campaign-friendly epsilon keeps that logarithm small
+    while still exercising the rung.
+    """
+    return max(1, 1 << max(0, case.ell - 6))
+
+
+def _check_escalated(case: FuzzCase, inputs: list[int], result) -> None:
+    """Post-hoc invariants for ladder-degraded outputs.
+
+    The primary's online monitors never saw the fallback execution, so
+    the campaign re-checks the paper's guarantees on the final outputs:
+    exact agreement and hull containment for the ``high_cost_ca`` rung,
+    epsilon-agreement and hull containment for ``async_aa``.
+    """
+    record = result.fallback
+    if record is None:
+        return
+    honest_inputs = [
+        inputs[party]
+        for party in range(case.n)
+        if party not in result.corrupted
+    ]
+    low, high = min(honest_inputs), max(honest_inputs)
+    values = [result.outputs[party] for party in result.honest_parties]
+    if not values:
+        raise ProtocolViolation(
+            "escalated execution produced no honest outputs",
+            monitor="EscalationAgreement",
+        )
+    epsilon = Fraction(record.epsilon) if record.epsilon else Fraction(0)
+    spread = max(values) - min(values)
+    if spread > epsilon:
+        raise ProtocolViolation(
+            f"escalated outputs disagree by {spread} > eps={epsilon} "
+            f"on rung {record.rung}: {values}",
+            monitor="EscalationAgreement",
+        )
+    if min(values) < low or max(values) > high:
+        raise ProtocolViolation(
+            f"escalated outputs {values} leave the honest hull "
+            f"[{low}, {high}] on rung {record.rung}",
+            monitor="EscalationValidity",
+        )
+
+
 def _execute(
     case: FuzzCase,
     spec: ProtocolSpec,
     inputs: list[int],
     adversary: Adversary,
-) -> None:
-    """Run one monitored execution; raises on any invariant violation."""
+):
+    """Run one monitored execution; raises on any invariant violation.
+
+    Partial-synchrony cases run through the supervisor's escalation
+    ladder (:func:`~repro.sim.supervisor.run_with_escalation`), with
+    monitor violations kept fatal (``escalate_on=(SimulationError,)``):
+    a slow/partitioned network may degrade, a protocol bug may not hide
+    behind the ladder.  Returns the :class:`ExecutionResult` (``None``
+    only on legacy non-returning paths).
+    """
+    transport = LossyTransport.from_spec(case.faults)
+    round_budget = spec.round_budget(case.n, case.t, case.ell)
+    monitors = case_monitors(case, spec)
+    # leave headroom above the monitor so RoundBudgetMonitor fires
+    # with a record attached before the hard simulator cap.
+    max_rounds = 2 * round_budget + 64
+    if case.faults.has_partial_sync:
+        monitors.append(LivenessMonitor(round_budget, transport))
+        result = run_with_escalation(
+            spec.build(case.ell),
+            inputs,
+            n=case.n,
+            t=case.t,
+            kappa=case.kappa,
+            adversary=adversary,
+            max_rounds=max_rounds,
+            trace=True,
+            monitors=monitors,
+            transport=transport,
+            epsilon=_case_epsilon(case),
+            escalate_on=(SimulationError,),
+        )
+        _check_escalated(case, inputs, result)
+        return result
     network = SynchronousNetwork(
         spec.build(case.ell),
         inputs,
@@ -586,28 +756,38 @@ def _execute(
         t=case.t,
         kappa=case.kappa,
         adversary=adversary,
-        # leave headroom above the monitor so RoundBudgetMonitor fires
-        # with a record attached before the hard simulator cap.
-        max_rounds=2 * spec.round_budget(case.n, case.t, case.ell) + 64,
+        max_rounds=max_rounds,
         trace=True,
-        monitors=case_monitors(case, spec),
+        monitors=monitors,
         # link faults ride below the round abstraction; None on specs
         # without link axes, so non-crash campaigns are untouched.
-        transport=LossyTransport.from_spec(case.faults),
+        transport=transport,
     )
-    network.run()
+    return network.run()
 
 
-def run_case(
+@dataclass
+class CaseStats:
+    """Resilience accounting of one completed (non-failing) case."""
+
+    #: transport-level escalated retries the execution performed.
+    resyncs: int = 0
+    #: logical rounds that needed more than one synchronization attempt.
+    escalated_rounds: int = 0
+    #: ladder rung that produced the outputs (``None`` = primary).
+    rung: str | None = None
+
+
+def run_case_ex(
     case: FuzzCase, registry: dict[str, ProtocolSpec] | None = None
-) -> FuzzFailure | None:
-    """Run one case under monitors; return a failure or None if clean."""
+) -> tuple["FuzzFailure | None", CaseStats]:
+    """Like :func:`run_case`, plus the case's resilience accounting."""
     registry = registry or standard_registry()
     spec = registry[case.protocol]
     inputs = _build_inputs(case, spec)
     adversary = _build_adversary(case)
     try:
-        _execute(case, spec, inputs, adversary)
+        result = _execute(case, spec, inputs, adversary)
     except ProtocolViolation as violation:
         return FuzzFailure(
             case=case,
@@ -619,7 +799,7 @@ def run_case(
             adapt_schedule=list(adversary.adapt_schedule),
             crash_schedule=list(adversary.crash_schedule),
             original_script_size=len(adversary.script),
-        )
+        ), CaseStats()
     except SimulationError as error:
         return FuzzFailure(
             case=case,
@@ -631,8 +811,25 @@ def run_case(
             adapt_schedule=list(adversary.adapt_schedule),
             crash_schedule=list(adversary.crash_schedule),
             original_script_size=len(adversary.script),
-        )
-    return None
+        ), CaseStats()
+    stats = CaseStats()
+    if result is not None:
+        stats.resyncs = result.stats.resync_attempts
+        stats.escalated_rounds = result.stats.escalated_rounds
+        if result.fallback is not None:
+            stats.rung = result.fallback.rung
+            # the returned stats belong to the fallback rung; fold the
+            # primary's escalation effort back in.
+            stats.resyncs += result.fallback.resyncs
+    return None, stats
+
+
+def run_case(
+    case: FuzzCase, registry: dict[str, ProtocolSpec] | None = None
+) -> "FuzzFailure | None":
+    """Run one case under monitors; return a failure or None if clean."""
+    failure, _ = run_case_ex(case, registry)
+    return failure
 
 
 # ---------------------------------------------------------------------------
@@ -646,6 +843,7 @@ def _replays_same(
     script_keys: list[tuple[int, int, int]],
     schedule: list[tuple[int, int]],
     crash_schedule: list[tuple[int, int, int]] | None = None,
+    case: FuzzCase | None = None,
 ) -> bool:
     """Does the reduced script still trigger the same violation kind?"""
     adversary = ReplayAdversary(
@@ -659,12 +857,42 @@ def _replays_same(
         ),
     )
     try:
-        _execute(failure.case, spec, failure.inputs, adversary)
+        _execute(
+            failure.case if case is None else case,
+            spec,
+            failure.inputs,
+            adversary,
+        )
     except ProtocolViolation as violation:
         return (violation.monitor or "ProtocolViolation") == failure.kind
     except SimulationError:
         return failure.kind == "SimulationError"
     return False
+
+
+#: window-axis tags for the partition/churn shrink dimension.
+_PARTITION_TAG, _CHURN_TAG = "partition", "churn"
+
+
+def _windows_of(case: FuzzCase) -> list[tuple[str, tuple]]:
+    """Flatten a case's partition + churn windows into one shrink list."""
+    return [
+        (_PARTITION_TAG, window) for window in case.faults.partitions
+    ] + [(_CHURN_TAG, window) for window in case.faults.link_churn]
+
+
+def _case_with_windows(
+    case: FuzzCase, windows: list[tuple[str, tuple]]
+) -> FuzzCase:
+    """Rebuild a case keeping only the given partition/churn windows."""
+    partitions = tuple(
+        window for tag, window in windows if tag == _PARTITION_TAG
+    )
+    churn = tuple(window for tag, window in windows if tag == _CHURN_TAG)
+    return replace(
+        case,
+        faults=replace(case.faults, partitions=partitions, link_churn=churn),
+    )
 
 
 def _ddmin(items: list, still_fails: Callable[[list], bool],
@@ -708,30 +936,45 @@ def shrink_failure(
 
     schedule = list(failure.adapt_schedule)
     crash_schedule = list(failure.crash_schedule)
+    case = failure.case
     keys = sorted(failure.script)
     keys = _ddmin(
         keys,
         lambda candidate: _replays_same(
-            failure, spec, candidate, schedule, crash_schedule
+            failure, spec, candidate, schedule, crash_schedule, case
         ),
         budget,
     )
     schedule = _ddmin(
         schedule,
         lambda candidate: _replays_same(
-            failure, spec, keys, candidate, crash_schedule
+            failure, spec, keys, candidate, crash_schedule, case
         ),
         budget,
     )
     crash_schedule = _ddmin(
         crash_schedule,
         lambda candidate: _replays_same(
-            failure, spec, keys, schedule, candidate
+            failure, spec, keys, schedule, candidate, case
         ),
         budget,
     )
+    # fourth axis: partition/churn windows of the partial-sync plane --
+    # the shrunk case travels inside the artifact, so the minimized
+    # schedule replays without the removed windows.
+    windows = _windows_of(case)
+    if windows:
+        windows = _ddmin(
+            windows,
+            lambda candidate: _replays_same(
+                failure, spec, keys, schedule, crash_schedule,
+                _case_with_windows(case, candidate),
+            ),
+            budget,
+        )
+        case = _case_with_windows(case, windows)
     return FuzzFailure(
-        case=failure.case,
+        case=case,
         kind=failure.kind,
         message=failure.message,
         inputs=failure.inputs,
@@ -865,16 +1108,19 @@ def _run_campaign_case(
     shrink: bool,
     max_shrink_runs: int,
     crash: bool = False,
-) -> FuzzFailure | None:
+    partition: bool = False,
+) -> tuple[FuzzFailure | None, CaseStats]:
     """Sample, execute, and (on failure) shrink one campaign case."""
-    case = sample_case_at(campaign_seed, index, registry, crash=crash)
-    failure = run_case(case, registry)
+    case = sample_case_at(
+        campaign_seed, index, registry, crash=crash, partition=partition
+    )
+    failure, stats = run_case_ex(case, registry)
     if failure is not None and shrink:
         failure = shrink_failure(failure, registry, max_runs=max_shrink_runs)
-    return failure
+    return failure, stats
 
 
-def _campaign_worker(task: dict) -> FuzzFailure | None:
+def _campaign_worker(task: dict) -> tuple[FuzzFailure | None, CaseStats]:
     """Process-pool entry point: one case, registry rebuilt in-worker.
 
     ``ProtocolSpec`` factories are closures and do not pickle, so each
@@ -891,6 +1137,7 @@ def _campaign_worker(task: dict) -> FuzzFailure | None:
         task["shrink"],
         task["max_shrink_runs"],
         crash=task.get("crash", False),
+        partition=task.get("partition", False),
     )
 
 
@@ -907,6 +1154,7 @@ def fuzz(
     registry_builder: Callable[[], dict[str, ProtocolSpec]] | None = None,
     case_timeout_s: float | None = None,
     crash: bool = False,
+    partition: bool = False,
 ) -> FuzzReport:
     """Run a chaos campaign of ``runs`` sampled configurations.
 
@@ -915,6 +1163,12 @@ def fuzz(
     synchronizer) and crash/restart windows for honest parties (WAL
     replay on rejoin), composed with the usual byzantine strategies and
     message faults.
+
+    ``partition=True`` widens it further with the partial-synchrony
+    axes (GST, pre-GST loss, healing/never-healing partitions, link
+    churn); those cases run through the supervisor's escalation ladder,
+    so a slow network shows up as escalation accounting in the report
+    while invariant violations stay hard failures.
 
     Every run executes one sampled case under the full monitor stack;
     failures are shrunk (unless ``shrink=False``) and, when
@@ -945,13 +1199,14 @@ def fuzz(
         worker_count = 1
 
     report = FuzzReport(
-        runs=runs, seed=seed, workers=worker_count, crash=crash
+        runs=runs, seed=seed, workers=worker_count, crash=crash,
+        partition=partition,
     )
     if worker_count == 1:
         outcomes = [
             _run_campaign_case(
                 index, seed, parent_registry, shrink, max_shrink_runs,
-                crash=crash,
+                crash=crash, partition=partition,
             )
             for index in range(runs)
         ]
@@ -966,6 +1221,7 @@ def fuzz(
                 "max_shrink_runs": max_shrink_runs,
                 "registry_builder": builder,
                 "crash": crash,
+                "partition": partition,
             }
             for index in range(runs)
         ]
@@ -993,11 +1249,23 @@ def fuzz(
         )
 
     for index in range(runs):
-        case = sample_case_at(seed, index, parent_registry, crash=crash)
+        case = sample_case_at(
+            seed, index, parent_registry, crash=crash, partition=partition
+        )
         if progress is not None:
             progress(index, case)
         report.cases.append(case)
-        failure = outcomes[index]
+        outcome = outcomes[index]
+        failure, case_stats = (
+            outcome if outcome is not None else (None, CaseStats())
+        )
+        if case_stats.resyncs:
+            report.resyncs += case_stats.resyncs
+            report.escalated_cases += 1
+        if case_stats.rung is not None:
+            report.degradations[case_stats.rung] = (
+                report.degradations.get(case_stats.rung, 0) + 1
+            )
         if index in errors:
             # Crash/timeout isolation: the engine lost this case -- record
             # it as a campaign failure rather than aborting the sweep.

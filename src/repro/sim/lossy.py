@@ -10,11 +10,24 @@ top of it --
 * every payload carries an implicit ``(round, sender)`` sequence tag and
   is acknowledged by the receiver (acks traverse the same lossy link);
 * unacknowledged copies are retransmitted with exponential backoff
-  (attempt ``k`` waits ``min(2^k, max_backoff)`` slots);
+  (attempt ``k`` waits ``min(2^k, max_backoff)`` slots, with the
+  exponent capped *before* exponentiation so retransmit storms can
+  never build huge intermediate integers);
 * a per-round slot budget bounds how long the synchronizer waits; an
   exhausted budget raises :class:`TransportTimeout`, which the network
   surfaces as a :class:`~repro.errors.SimulationError` with partial
   state.
+
+With a :class:`TimeoutEscalation` policy attached, an exhausted budget
+does not immediately die: the parties of the round exchange
+*round-resync beacons* (tiny frames announcing "I am still in round r,
+re-arm your timers"), the slot budget grows exponentially (PBFT-style
+timeout escalation), and the round is re-attempted -- up to
+``max_attempts`` times before :class:`TransportTimeout` finally fires.
+Beacon frames and retry attempts are accounted in the ``beacon_*`` /
+``resync_attempts`` / ``escalated_rounds`` fields of
+:class:`~repro.sim.metrics.CommunicationStats`, never in
+``honest_bits``.
 
 Protocols run **unmodified** on top: the synchronizer guarantees that
 the logical inbox of every round is exactly what a perfect network
@@ -26,31 +39,88 @@ are accounted in the ``retrans_*`` / ``ack_*`` / ``transport_slots``
 fields of :class:`~repro.sim.metrics.CommunicationStats`, never in the
 paper's ``honest_bits``.
 
-Determinism: all coins come from one :class:`random.Random` per round,
-seeded by ``H(seed, round)``, consumed in sorted link order -- the same
-schedule replays on any worker, which is what keeps lossy executions
-inside the engine's serial/parallel conformance contract.
+Determinism: all coins come from one :class:`random.Random` per round
+attempt, seeded by ``H(seed, round)`` (``H(seed, round, attempt)`` for
+escalated retries), consumed in sorted link order -- the same schedule
+replays on any worker, which is what keeps lossy executions inside the
+engine's serial/parallel conformance contract.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ConfigurationError, ReproError
+from ..perf import counters
 from .metrics import CommunicationStats
 from .sizing import bit_size
 
-__all__ = ["ACK_BITS", "LossyTransport", "TransportTimeout"]
+__all__ = [
+    "ACK_BITS",
+    "BEACON_BITS",
+    "LossyTransport",
+    "TimeoutEscalation",
+    "TransportTimeout",
+]
 
 #: Size of one acknowledgement frame: a (round, sender) sequence tag
 #: plus a few flag bits -- deliberately tiny, like a TCP pure-ACK.
 ACK_BITS = 40
 
+#: Size of one round-resync beacon frame: a round tag, the attempt
+#: counter, and the re-armed budget -- the PBFT view-change analogue.
+BEACON_BITS = 48
+
 
 class TransportTimeout(ReproError):
     """The synchronizer exhausted its slot budget for one round."""
+
+
+@dataclass(frozen=True)
+class TimeoutEscalation:
+    """PBFT-style timeout escalation policy for the round synchronizer.
+
+    On an exhausted slot budget the synchronizer does not die
+    immediately: the round's parties exchange resync beacons, the
+    budget is multiplied by ``growth`` (capped at ``budget_cap``), and
+    the round is re-attempted -- up to ``max_attempts`` total attempts.
+    A budget that is exhausted on the last attempt raises
+    :class:`TransportTimeout` exactly like the non-escalating path.
+    """
+
+    max_attempts: int = 6
+    growth: int = 2
+    budget_cap: int = 1 << 15
+    #: simulated slots one beacon exchange takes (accounted on
+    #: ``transport_slots`` and the partial-sync clock).
+    beacon_slots: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("max_attempts", "growth", "budget_cap", "beacon_slots"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"TimeoutEscalation.{name} must be an integer, "
+                    f"got {value!r}"
+                )
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be positive")
+        if self.growth < 2:
+            raise ConfigurationError(
+                "growth must be >= 2 -- a non-growing budget cannot "
+                "outwait a slow network"
+            )
+        if self.budget_cap < 1:
+            raise ConfigurationError("budget_cap must be positive")
+        if self.beacon_slots < 0:
+            raise ConfigurationError("beacon_slots must be >= 0")
+
+    def next_budget(self, budget: int) -> int:
+        """The re-armed slot budget after one exhausted attempt."""
+        return min(budget * self.growth, max(budget, self.budget_cap))
 
 
 class _Flight:
@@ -79,11 +149,15 @@ class LossyTransport:
             can then arrive in an order unrelated to their send order.
         seed: deterministic schedule seed.
         slot_budget: maximum physical slots simulated per logical
-            round before :class:`TransportTimeout`.
+            round (per attempt when escalation is armed) before the
+            synchronizer gives up on the attempt.
         max_backoff: cap on the exponential retransmission backoff.
         links: restrict faults to these ``(src, dst)`` links
             (``None`` = every link); non-listed links still pay ack
             accounting but never drop or delay.
+        escalation: optional :class:`TimeoutEscalation`; ``None`` keeps
+            the classic single-attempt behaviour (an exhausted budget
+            raises :class:`TransportTimeout` immediately).
     """
 
     def __init__(
@@ -95,6 +169,7 @@ class LossyTransport:
         slot_budget: int = 256,
         max_backoff: int = 16,
         links: frozenset[tuple[int, int]] | None = None,
+        escalation: TimeoutEscalation | None = None,
     ) -> None:
         for name, rate in (("delay", delay), ("reorder", reorder)):
             if not 0.0 <= rate <= 1.0:
@@ -106,10 +181,26 @@ class LossyTransport:
                 f"drop rate {drop} outside [0, 1) -- a link that drops "
                 "everything can never be synchronized"
             )
-        if slot_budget < 1:
-            raise ConfigurationError("slot_budget must be positive")
-        if max_backoff < 1:
-            raise ConfigurationError("max_backoff must be positive")
+        for name, value in (
+            ("slot_budget", slot_budget),
+            ("max_backoff", max_backoff),
+        ):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"{name} must be an integer number of slots, "
+                    f"got {value!r} ({type(value).__name__})"
+                )
+            if value < 1:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {value}"
+                )
+        if escalation is not None and not isinstance(
+            escalation, TimeoutEscalation
+        ):
+            raise ConfigurationError(
+                f"escalation must be a TimeoutEscalation or None, "
+                f"got {escalation!r}"
+            )
         self.drop = drop
         self.delay = delay
         self.reorder = reorder
@@ -117,17 +208,32 @@ class LossyTransport:
         self.slot_budget = slot_budget
         self.max_backoff = max_backoff
         self.links = links
+        self.escalation = escalation
+        #: exponent cap: once ``2^attempts`` provably reaches
+        #: ``max_backoff`` the power is never computed again.
+        self._backoff_exp_cap = max(1, max_backoff.bit_length())
+        #: global physical time in slots (monotone across rounds);
+        #: partial-synchrony subclasses key GST/partition windows on it.
+        self._clock = 0
+        #: escalated retries performed over the transport's lifetime.
+        self.total_resyncs = 0
 
     # ------------------------------------------------------------------
     @classmethod
     def from_spec(cls, spec: Any) -> "LossyTransport | None":
         """Build a transport from a :class:`~repro.sim.faults.FaultSpec`.
 
-        Returns ``None`` when the spec carries no link-fault axes.  The
-        transport seed is derived from (not equal to) the spec seed so
-        the link schedule never correlates with the byzantine fault
+        Returns ``None`` when the spec carries no link-fault axes; a
+        :class:`~repro.sim.partial_sync.PartialSyncTransport` when the
+        spec carries partial-synchrony axes (GST, partitions, churn).
+        The transport seed is derived from (not equal to) the spec seed
+        so the link schedule never correlates with the byzantine fault
         injector's stream.
         """
+        if getattr(spec, "has_partial_sync", False):
+            from .partial_sync import PartialSyncTransport
+
+            return PartialSyncTransport.from_spec(spec)
         if not getattr(spec, "has_link_faults", False):
             return None
         return cls(
@@ -150,13 +256,56 @@ class LossyTransport:
         ]
         return f"LossyTransport({', '.join(active) or 'perfect'})"
 
-    # ------------------------------------------------------------------
+    # -- hooks for partial-synchrony subclasses ------------------------
+    @property
+    def clock(self) -> int:
+        """Global physical slots elapsed on this transport."""
+        return self._clock
+
+    @property
+    def stabilization_time(self) -> int | None:
+        """First global slot with bounded delivery (``None`` = never).
+
+        A plain lossy transport is probabilistically bounded from slot
+        0; partial-synchrony subclasses override this with the latest
+        of GST, partition heals, and churn ends.
+        """
+        return 0
+
     def _lossy(self, link: tuple[int, int]) -> bool:
         return self.links is None or link in self.links
 
+    def _cut(self, link: tuple[int, int], at: int) -> bool:
+        """Is ``link`` deterministically severed at global slot ``at``?"""
+        return False
+
+    def _drop_rate(self, link: tuple[int, int], at: int) -> float:
+        """Per-copy loss probability of ``link`` at global slot ``at``."""
+        return self.drop
+
+    def _delay_rate(self, link: tuple[int, int], at: int) -> float:
+        """Per-copy one-slot-late probability at global slot ``at``."""
+        return self.delay
+
     def _backoff(self, attempts: int) -> int:
+        # Cap the exponent *before* exponentiation: at attempt 300 the
+        # old min(2**300, cap) built a 90-digit integer per retransmit.
+        if attempts >= self._backoff_exp_cap:
+            return self.max_backoff
         return min(2 ** attempts, self.max_backoff)
 
+    def _attempt_seed(self, round_index: int, attempt: int) -> int:
+        """Schedule seed for one synchronization attempt.
+
+        Attempt 0 keeps the historical ``H(seed, round)`` derivation so
+        escalation-free executions replay pre-escalation schedules
+        byte-identically; retries draw fresh independent schedules.
+        """
+        if attempt == 0:
+            return _derive("lossy-round", self.seed, round_index)
+        return _derive("lossy-resync", self.seed, round_index, attempt)
+
+    # ------------------------------------------------------------------
     def synchronize(
         self,
         round_index: int,
@@ -168,29 +317,103 @@ class LossyTransport:
         ``messages`` is the honest traffic of the round keyed by
         ``(src, dst)``; loopback links (``src == dst``) never touch the
         wire.  Returns the number of physical slots simulated and
-        accounts every retransmitted copy and ack frame on ``stats``.
+        accounts every retransmitted copy, ack frame, and (under
+        escalation) resync beacon on ``stats``.
 
         Raises:
-            TransportTimeout: the slot budget ran out with payloads
-                still unacknowledged.
+            TransportTimeout: the slot budget (including every escalated
+                retry, when an escalation policy is armed) ran out with
+                payloads still unacknowledged.
         """
         pending: dict[tuple[int, int], _Flight] = {}
+        parties: set[int] = set()
         for link in sorted(messages):
             src, dst = link
+            parties.add(src)
+            parties.add(dst)
             if src == dst:
                 continue
             pending[link] = _Flight(messages[link], bit_size(messages[link]))
         if not pending:
             return 0
 
-        rng = random.Random(_derive("lossy-round", self.seed, round_index))
+        attempts = (
+            1 if self.escalation is None else self.escalation.max_attempts
+        )
+        budget = self.slot_budget
+        total_slots = 0
+        for attempt in range(attempts):
+            slots = self._attempt_round(
+                round_index, attempt, pending, stats, budget
+            )
+            total_slots += slots
+            stats.record_slots(slots)
+            self._clock += slots
+            if not pending:
+                return total_slots
+            if attempt + 1 >= attempts:
+                break
+            self._resync(round_index, attempt, parties, stats)
+            total_slots += self.escalation.beacon_slots
+            budget = self.escalation.next_budget(budget)
+
+        raise TransportTimeout(
+            f"round {round_index}: {len(pending)} payload(s) still "
+            f"unacknowledged after {total_slots} slots across "
+            f"{attempts} attempt(s) "
+            f"(drop={self.drop}, delay={self.delay}, "
+            f"transport={self.describe()})"
+        )
+
+    def _resync(
+        self,
+        round_index: int,
+        attempt: int,
+        parties: set[int],
+        stats: CommunicationStats,
+    ) -> None:
+        """Exchange round-resync beacons and re-arm the synchronizer.
+
+        Every party of the round broadcasts one beacon to each peer --
+        the all-to-all "I am still in round r" exchange that lets the
+        retry start from a common slot origin.  Overhead lands on the
+        beacon fields of ``stats``; the simulated exchange itself costs
+        ``beacon_slots`` physical slots.
+        """
+        frames = len(parties) * max(0, len(parties) - 1)
+        stats.record_beacons(frames, BEACON_BITS)
+        stats.record_resync(escalated_round=(attempt == 0))
+        stats.record_slots(self.escalation.beacon_slots)
+        self._clock += self.escalation.beacon_slots
+        self.total_resyncs += 1
+        counters.bump("transport_resyncs")
+        counters.bump("transport_beacons", frames)
+
+    def _attempt_round(
+        self,
+        round_index: int,
+        attempt: int,
+        pending: dict[tuple[int, int], _Flight],
+        stats: CommunicationStats,
+        budget: int,
+    ) -> int:
+        """One bounded synchronization attempt; prunes acked flights.
+
+        Returns the slots simulated; flights still in ``pending``
+        afterwards were not acknowledged within ``budget`` slots.
+        """
+        rng = random.Random(self._attempt_seed(round_index, attempt))
+        base_time = self._clock
+        for flight in pending.values():
+            flight.due = 0
         #: slot -> links whose payload copy arrives then (ack pending).
         arrivals: dict[int, list[tuple[int, int]]] = {}
         slots_used = 0
-        for slot in range(self.slot_budget):
+        for slot in range(budget):
             if not pending:
                 break
             slots_used = slot + 1
+            at = base_time + slot
 
             # 1. transmissions due this slot (first copies and backoffs).
             for link in sorted(pending):
@@ -200,14 +423,21 @@ class LossyTransport:
                 flight.attempts += 1
                 if flight.attempts > 1:
                     stats.record_retransmit(flight.bits)
-                if self._lossy(link) and rng.random() < self.drop:
+                if self._cut(link, at):
+                    # severed by a partition: no coin consumed, the
+                    # copy is deterministically lost.
+                    flight.due = slot + self._backoff(flight.attempts)
+                    continue
+                if self._lossy(link) and rng.random() < self._drop_rate(
+                    link, at
+                ):
                     flight.due = slot + self._backoff(flight.attempts)
                     continue
                 arrival = slot
                 if (
                     self._lossy(link)
                     and self.delay
-                    and rng.random() < self.delay
+                    and rng.random() < self._delay_rate(link, at)
                 ):
                     arrival += 1
                     if self.reorder and rng.random() < self.reorder:
@@ -221,18 +451,15 @@ class LossyTransport:
                 if flight is None:
                     continue  # duplicate copy of an already-acked payload
                 stats.record_ack(ACK_BITS)
-                if self._lossy(link) and rng.random() < self.drop:
+                if self._cut(link, at):
+                    flight.due = slot + self._backoff(flight.attempts)
+                    continue
+                if self._lossy(link) and rng.random() < self._drop_rate(
+                    link, at
+                ):
                     flight.due = slot + self._backoff(flight.attempts)
                     continue
                 del pending[link]
-
-        stats.record_slots(slots_used)
-        if pending:
-            raise TransportTimeout(
-                f"round {round_index}: {len(pending)} payload(s) still "
-                f"unacknowledged after {self.slot_budget} slots "
-                f"(drop={self.drop}, delay={self.delay})"
-            )
         return slots_used
 
 

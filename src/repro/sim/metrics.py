@@ -54,6 +54,18 @@ class CommunicationStats:
     #: physical transmission slots the round synchronizer simulated on
     #: top of the logical rounds (0 on a perfect network).
     transport_slots: int = 0
+    #: partial-synchrony escalation overhead: round-resync beacon frames
+    #: exchanged when a slot budget was exhausted and the synchronizer
+    #: escalated instead of dying, plus the retry attempts themselves.
+    #: Like the retrans/ack fields these never touch ``honest_bits`` --
+    #: pre-GST slowness costs overhead, not protocol-level bits.
+    beacon_bits: int = 0
+    beacon_messages: int = 0
+    #: escalated retry attempts performed (one per exhausted budget that
+    #: was followed by a resync + retry rather than a hard timeout).
+    resync_attempts: int = 0
+    #: logical rounds that needed more than one synchronization attempt.
+    escalated_rounds: int = 0
 
     def record_send(self, sender: int, channel: str, bits: int) -> None:
         """Account one honest point-to-point message of ``bits`` bits."""
@@ -81,10 +93,21 @@ class CommunicationStats:
         """Account ``slots`` physical transmission slots for one round."""
         self.transport_slots += slots
 
+    def record_beacons(self, frames: int, bits_per_frame: int) -> None:
+        """Account one round-resync beacon exchange (``frames`` frames)."""
+        self.beacon_messages += frames
+        self.beacon_bits += frames * bits_per_frame
+
+    def record_resync(self, escalated_round: bool = False) -> None:
+        """Account one escalated retry of an exhausted slot budget."""
+        self.resync_attempts += 1
+        if escalated_round:
+            self.escalated_rounds += 1
+
     @property
     def resilience_overhead_bits(self) -> int:
         """Total link-layer bits spent restoring the lockstep abstraction."""
-        return self.retrans_bits + self.ack_bits
+        return self.retrans_bits + self.ack_bits + self.beacon_bits
 
     def channel_report(self) -> list[tuple[str, int, int]]:
         """Return ``(channel, bits, messages)`` rows sorted by bits desc."""

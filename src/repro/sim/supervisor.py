@@ -30,11 +30,29 @@ the protocol they were written against) and cannot be meaningfully
 re-driven against a different protocol.  ``HighCostCA``'s guarantees
 hold against arbitrary byzantine behaviour regardless, so this choice
 affects realism of the simulated attack, not soundness of the output.
+
+Under partial synchrony :func:`run_with_escalation` extends the single
+fallback into the full escalation ladder::
+
+    optimal CA  ->  budget-escalated retry  ->  HighCostCA  ->  async AA
+    (primary)       (inside the transport's     (same lossy      (t < n/5,
+                     TimeoutEscalation)         transport!)     eps-agreement)
+
+The ladder differs from :func:`run_with_fallback` in one crucial way:
+the ``HighCostCA`` rung runs over the *same* transport as the primary,
+so a network that is actually broken (a never-healing partition) fails
+it too and the supervisor keeps descending -- to asynchronous
+Approximate Agreement, whose liveness needs no synchrony at all.  Each
+rung is tried at most once, the traversal is recorded in order on
+``FallbackRecord.history``, and a ladder that runs out of rungs raises
+a budgeted :class:`~repro.errors.SimulationError` carrying the whole
+history -- never an unhandled exception.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigurationError, ProtocolViolation, SimulationError
@@ -45,12 +63,20 @@ from .metrics import CommunicationStats
 from .network import ExecutionResult, ProtocolFactory, SynchronousNetwork
 from .recovery import CrashEvent, RecoveryConfig
 
-__all__ = ["FallbackRecord", "run_with_fallback"]
+__all__ = ["FallbackRecord", "run_with_fallback", "run_with_escalation"]
+
+#: scalar CommunicationStats fields serialized into fallback artifacts.
+_STATS_FIELDS = (
+    "honest_bits", "honest_messages", "rounds",
+    "retrans_bits", "retrans_messages", "ack_bits", "ack_messages",
+    "transport_slots", "beacon_bits", "beacon_messages",
+    "resync_attempts", "escalated_rounds",
+)
 
 
 @dataclass(frozen=True)
 class FallbackRecord:
-    """Why and how an execution degraded to the HighCostCA path."""
+    """Why and how an execution degraded off the optimal path."""
 
     #: exception class name of the primary failure.
     trigger: str
@@ -63,10 +89,65 @@ class FallbackRecord:
     offset: int
     #: communication stats of the aborted primary execution.
     primary_stats: CommunicationStats | None = None
+    #: the ladder rung that produced the returned outputs:
+    #: ``"high_cost_ca"`` or ``"async_aa"``.
+    rung: str = "high_cost_ca"
+    #: the escalation traversal in order, one entry per rung tried.
+    history: tuple[str, ...] = ()
+    #: eps of the async AA rung (stringified Fraction), else ``None`` --
+    #: the returned outputs then agree only up to ``epsilon``.
+    epsilon: str | None = None
+    #: transport-level escalated retries the primary performed before
+    #: failing (mirrors ``primary_stats.resync_attempts``).
+    resyncs: int = 0
 
     def describe(self) -> str:
         via = f" via {self.monitor}" if self.monitor else ""
-        return f"degraded to HighCostCA after {self.trigger}{via}: {self.detail}"
+        target = (
+            "asynchronous AA" if self.rung == "async_aa" else "HighCostCA"
+        )
+        return f"degraded to {target} after {self.trigger}{via}: {self.detail}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by repro artifacts)."""
+        return {
+            "trigger": self.trigger,
+            "detail": self.detail,
+            "monitor": self.monitor,
+            "offset": self.offset,
+            "rung": self.rung,
+            "history": list(self.history),
+            "epsilon": self.epsilon,
+            "resyncs": self.resyncs,
+            "primary_stats": (
+                None
+                if self.primary_stats is None
+                else {
+                    name: getattr(self.primary_stats, name)
+                    for name in _STATS_FIELDS
+                }
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FallbackRecord":
+        stats_data = data.get("primary_stats")
+        stats = None
+        if stats_data is not None:
+            stats = CommunicationStats()
+            for name in _STATS_FIELDS:
+                setattr(stats, name, stats_data.get(name, 0))
+        return cls(
+            trigger=data["trigger"],
+            detail=data["detail"],
+            monitor=data.get("monitor"),
+            offset=data.get("offset", 0),
+            primary_stats=stats,
+            rung=data.get("rung", "high_cost_ca"),
+            history=tuple(data.get("history", ())),
+            epsilon=data.get("epsilon"),
+            resyncs=data.get("resyncs", 0),
+        )
 
 
 class _StaticCorruptions(PassiveAdversary):
@@ -175,3 +256,224 @@ def _offset_into_naturals(inputs: dict[int, Any]) -> int:
         )
     lowest = min(values)
     return -lowest if lowest < 0 else 0
+
+
+def _clip(message: str, limit: int = 200) -> str:
+    """First line of ``message``, truncated for history entries."""
+    line = message.splitlines()[0] if message else message
+    return line if len(line) <= limit else line[: limit - 3] + "..."
+
+
+def run_with_escalation(
+    protocol_factory: ProtocolFactory,
+    inputs: dict[int, Any] | list[Any],
+    n: int,
+    t: int,
+    kappa: int = 128,
+    adversary: Adversary | None = None,
+    max_rounds: int | None = None,
+    trace: bool = False,
+    monitors: Sequence[InvariantMonitor] = (),
+    transport: LossyTransport | None = None,
+    crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
+    recovery: RecoveryConfig | bool | None = None,
+    epsilon: Fraction | int = 1,
+    fallback_channel: str = "fallback/hc",
+    max_deliveries: int | None = None,
+    escalate_on: tuple[type, ...] = (ProtocolViolation, SimulationError),
+) -> ExecutionResult:
+    """Descend the partial-synchrony escalation ladder until decision.
+
+    Rungs, each tried at most once and recorded in order on
+    ``FallbackRecord.history``:
+
+    1. **primary** -- the optimal protocol with the full resilience
+       stack.  Budget-escalated retries happen *inside* the transport's
+       :class:`~repro.sim.lossy.TimeoutEscalation`, so a network that
+       stabilizes late still yields a clean, byte-identical result with
+       ``fallback is None`` and the retry cost visible only in the
+       ``beacon_* / resync_*`` stats fields.
+    2. **high_cost_ca** -- on :class:`ProtocolViolation` or
+       :class:`SimulationError`, rerun the (shifted) inputs through
+       ``HighCostCA`` over the **same transport**: a genuinely broken
+       network fails this rung too, which is the point -- only an
+       actually-usable network lets the ladder stop here.
+    3. **async_aa** -- asynchronous Approximate Agreement with the
+       primary's corruption set pinned.  Needs ``5 * |corrupted| < n``;
+       outputs agree only up to ``epsilon`` (recorded stringified on
+       the fallback record).  Liveness needs no synchrony assumption.
+
+    A ladder that exhausts every rung raises a
+    :class:`~repro.errors.SimulationError` carrying the full history --
+    the budgeted, replayable failure the chaos plane expects; no
+    network schedule produces an unhandled exception.
+
+    Non-integer inputs cannot ride the lower rungs, so the primary
+    failure propagates unchanged for them (as in
+    :func:`run_with_fallback`).
+
+    ``escalate_on`` restricts which primary failures enter the ladder
+    (default: both).  The chaos plane passes ``(SimulationError,)`` so
+    a fired invariant monitor stays a reported protocol bug instead of
+    being silently degraded away.
+    """
+    if isinstance(inputs, list):
+        inputs = dict(enumerate(inputs))
+    if not isinstance(epsilon, (int, Fraction)) or epsilon <= 0:
+        raise ConfigurationError(
+            f"epsilon must be a positive number, got {epsilon!r}"
+        )
+
+    history: list[str] = []
+    primary = SynchronousNetwork(
+        protocol_factory=protocol_factory,
+        inputs=inputs,
+        n=n,
+        t=t,
+        kappa=kappa,
+        adversary=adversary,
+        max_rounds=max_rounds,
+        trace=trace,
+        monitors=monitors,
+        transport=transport,
+        crashes=crashes,
+        recovery=recovery,
+    )
+    try:
+        return primary.run()
+    except (ProtocolViolation, SimulationError) as failure:
+        if not isinstance(failure, escalate_on):
+            raise
+        primary_failure = failure
+    resyncs = primary.stats.resync_attempts
+    history.append(
+        f"primary: {type(primary_failure).__name__}: "
+        f"{_clip(str(primary_failure))}"
+    )
+    if resyncs:
+        history.append(
+            f"transport: {resyncs} escalated retr"
+            f"{'y' if resyncs == 1 else 'ies'} before the failure"
+        )
+
+    try:
+        offset = _offset_into_naturals(inputs)
+    except ConfigurationError:
+        raise primary_failure from None
+    shifted = {party: value + offset for party, value in inputs.items()}
+    corrupted = frozenset(primary.corrupted)
+
+    def _record(rung: str, eps: str | None = None) -> FallbackRecord:
+        return FallbackRecord(
+            trigger=type(primary_failure).__name__,
+            detail=str(primary_failure),
+            monitor=getattr(primary_failure, "monitor", None),
+            offset=offset,
+            primary_stats=primary.stats,
+            rung=rung,
+            history=tuple(history),
+            epsilon=eps,
+            resyncs=resyncs,
+        )
+
+    # -- rung 2: HighCostCA over the SAME (possibly broken) transport --
+    from ..core.high_cost_ca import high_cost_ca
+
+    hc_net = SynchronousNetwork(
+        protocol_factory=lambda ctx, v: high_cost_ca(
+            ctx, v, channel=fallback_channel
+        ),
+        inputs=shifted,
+        n=n,
+        t=t,
+        kappa=kappa,
+        adversary=_StaticCorruptions(corrupted),
+        max_rounds=max_rounds,
+        trace=trace,
+        transport=transport,
+    )
+    try:
+        result = hc_net.run()
+    except (ProtocolViolation, SimulationError) as hc_failure:
+        history.append(
+            f"high_cost_ca: {type(hc_failure).__name__}: "
+            f"{_clip(str(hc_failure))}"
+        )
+    else:
+        history.append("high_cost_ca: decided")
+        result.outputs = {
+            party: value - offset
+            for party, value in result.outputs.items()
+        }
+        result.fallback = _record("high_cost_ca")
+        return result
+
+    # -- rung 3: asynchronous AA with the corruption set pinned --------
+    t_async = len(corrupted)
+    if 5 * t_async >= n:
+        history.append(
+            f"async_aa: skipped (needs 5t < n, t={t_async}, n={n})"
+        )
+        raise SimulationError(
+            "escalation ladder exhausted: " + " | ".join(history),
+            stats=primary.stats,
+        ) from primary_failure
+
+    from ..asynchrony.aa import AsyncApproximateAgreement
+    from ..asynchrony.network import AsyncNetwork
+
+    bound = max(1, max(shifted.values()))
+    async_net = AsyncNetwork(
+        party_factory=lambda ctx: AsyncApproximateAgreement(
+            ctx, shifted[ctx.party_id], epsilon, bound
+        ),
+        n=n,
+        t=t_async,
+        kappa=kappa,
+        adversary=_PinnedAsyncCorruptions(corrupted),
+        max_deliveries=max_deliveries,
+    )
+    try:
+        async_result = async_net.run()
+    except (ProtocolViolation, SimulationError) as aa_failure:
+        history.append(
+            f"async_aa: {type(aa_failure).__name__}: "
+            f"{_clip(str(aa_failure))}"
+        )
+        raise SimulationError(
+            "escalation ladder exhausted: " + " | ".join(history),
+            stats=primary.stats,
+        ) from primary_failure
+
+    history.append(f"async_aa: decided (eps={epsilon})")
+    return ExecutionResult(
+        n=n,
+        t=t,
+        outputs={
+            party: value - offset
+            for party, value in async_result.outputs.items()
+        },
+        corrupted=corrupted,
+        stats=async_result.stats,
+        fallback=_record("async_aa", eps=str(Fraction(epsilon))),
+    )
+
+
+class _PinnedAsyncCorruptions:
+    """Silent async adversary with a pinned corruption set.
+
+    The async twin of :class:`_StaticCorruptions`: byzantine parties
+    exist (they count against the ``t < n/5`` bound and never help) but
+    inject nothing.
+    """
+
+    budget = 0
+
+    def __init__(self, corrupted: frozenset[int]) -> None:
+        self._corrupted = set(corrupted)
+
+    def select_corruptions(self, n: int, t: int) -> set[int]:
+        return set(self._corrupted)
+
+    def inject(self, step, corrupted, n, observed):
+        return []

@@ -13,6 +13,7 @@ from repro.sim import (
     ACK_BITS,
     FaultSpec,
     LossyTransport,
+    TimeoutEscalation,
     run_protocol,
 )
 
@@ -138,3 +139,27 @@ class TestTimeout:
         transport = LossyTransport(drop=0.95, seed=3, slot_budget=4)
         with pytest.raises(SimulationError, match="slot"):
             run_flca(inputs, 4, 1, transport=transport)
+
+    def test_escalation_survives_what_a_fixed_budget_cannot(self):
+        inputs = [1, 2, 3, 4]
+        with pytest.raises(SimulationError):
+            run_flca(
+                inputs, 4, 1,
+                transport=LossyTransport(drop=0.4, seed=3, slot_budget=6),
+            )
+        result = run_flca(
+            inputs, 4, 1,
+            transport=LossyTransport(
+                drop=0.4, seed=3, slot_budget=6,
+                escalation=TimeoutEscalation(),
+            ),
+        )
+        baseline = run_flca(inputs, 4, 1)
+        assert result.outputs == baseline.outputs
+        assert result.stats.honest_bits == baseline.stats.honest_bits
+        # the retries are visible only in the escalation accounting.
+        stats = result.stats
+        assert stats.resync_attempts > 0
+        assert stats.escalated_rounds > 0
+        assert stats.escalated_rounds <= stats.resync_attempts
+        assert stats.beacon_bits > 0
