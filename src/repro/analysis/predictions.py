@@ -14,8 +14,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 __all__ = [
     "ba_plus_bits_model",
     "ext_ba_plus_bits_model",
@@ -107,12 +105,23 @@ def fit_power_law(xs: list[float], ys: list[float]) -> tuple[float, float]:
     """
     if len(xs) != len(ys) or len(xs) < 2:
         raise ValueError("need at least two (x, y) samples")
-    log_x = np.log(np.asarray(xs, dtype=float))
-    log_y = np.log(np.asarray(ys, dtype=float))
-    slope, intercept = np.polyfit(log_x, log_y, 1)
-    predicted = slope * log_x + intercept
-    residual = np.sum((log_y - predicted) ** 2)
-    total = np.sum((log_y - np.mean(log_y)) ** 2)
+    log_x = [math.log(float(x)) for x in xs]
+    log_y = [math.log(float(y)) for y in ys]
+    count = len(log_x)
+    mean_x = sum(log_x) / count
+    mean_y = sum(log_y) / count
+    sxx = sum((x - mean_x) ** 2 for x in log_x)
+    if sxx == 0:
+        raise ValueError("all x values coincide")
+    sxy = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y)
+    )
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    residual = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(log_x, log_y)
+    )
+    total = sum((y - mean_y) ** 2 for y in log_y)
     r_squared = 1.0 if total == 0 else 1.0 - residual / total
     return float(slope), float(r_squared)
 
@@ -128,7 +137,7 @@ def marginal_slope(xs: list[float], ys: list[float]) -> float:
     """
     if len(xs) < 2:
         raise ValueError("need at least two samples")
-    order = np.argsort(xs)
+    order = sorted(range(len(xs)), key=lambda i: xs[i])
     x1, x2 = float(xs[order[-2]]), float(xs[order[-1]])
     y1, y2 = float(ys[order[-2]]), float(ys[order[-1]])
     if x2 == x1:

@@ -183,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "and archived); genuine violations stay "
                            "fatal -- for soak campaigns over random "
                            "partition schedules")
+    fuzz.add_argument("--backend", choices=["python", "numpy"],
+                      default=None,
+                      help="pin the GF/RS/Merkle kernel backend for the "
+                           "campaign (workers inherit it); results are "
+                           "byte-identical either way")
     fuzz.add_argument("--quiet", action="store_true",
                       help="only print the final summary")
 
@@ -206,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the cProfile hotspot pass")
     profile.add_argument("--top", type=int, default=15,
                          help="number of cProfile hotspots to record")
+    profile.add_argument("--backend", choices=["python", "numpy"],
+                         default=None,
+                         help="pin the kernel backend for the battery "
+                              "(default: REPRO_BACKEND or auto)")
+    profile.add_argument("--no-backend-compare", action="store_true",
+                         help="skip the backend A/B section (the long-ell "
+                              "comparison case run on every backend)")
 
     return parser
 
@@ -358,7 +370,15 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
+    from .perf import config as perf_config
     from .sim.fuzz import fuzz
+
+    if args.backend is not None:
+        try:
+            perf_config.set_backend(args.backend)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     progress = None if args.quiet else (
         lambda index, case: print(f"[{index + 1}/{args.runs}] "
@@ -444,15 +464,23 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    from .perf import config as perf_config
     from .perf import profile as perf_profile
 
-    document = perf_profile.hotpath_document(
-        quick=args.quick,
-        cprofile=not args.no_cprofile,
-        top=args.top,
-    )
+    try:
+        document = perf_profile.hotpath_document(
+            quick=args.quick,
+            cprofile=not args.no_cprofile,
+            top=args.top,
+            backend=args.backend,
+            compare_backends=not args.no_backend_compare,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     wall = document["timing"]["wall_s"]
-    print(f"hot-path battery ({'quick' if args.quick else 'full'}):")
+    print(f"hot-path battery ({'quick' if args.quick else 'full'}, "
+          f"backend={document['timing']['backend']}):")
     for key, entry in document["deterministic"].items():
         ops = entry["counters"]
         print(
@@ -467,6 +495,21 @@ def _cmd_profile(args) -> int:
             print(
                 f"  {row['cumtime_s']:>8.3f}s cum "
                 f"{row['tottime_s']:>8.3f}s tot  {row['function']}"
+            )
+    comparison = document.get("backend_comparison")
+    if comparison:
+        times = "  ".join(
+            f"{name}={comparison['wall_s'][name]:.3f}s"
+            for name in comparison["backends"]
+        )
+        speedup = comparison.get("speedup_numpy_over_python")
+        print(f"\nbackend comparison ({comparison['config']}): {times}"
+              + (f"  speedup {speedup}x" if speedup else ""))
+        if not comparison["identical"]:
+            print(
+                "BACKEND MISMATCH: deterministic entries differ across "
+                f"backends ({comparison.get('mismatching_backends')})",
+                file=sys.stderr,
             )
     if args.output:
         path = perf_profile.save_document(document, args.output)
@@ -488,6 +531,8 @@ def _cmd_profile(args) -> int:
             f"\ncounter gate: {len(document['deterministic'])} config(s) "
             f"match the baseline ({args.check})"
         )
+    if comparison and not comparison["identical"]:
+        return 1
     return 0
 
 

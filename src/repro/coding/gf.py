@@ -2,9 +2,20 @@
 
 Section 7 of the paper requires Reed-Solomon codewords to be elements of
 a Galois field ``GF(2^a)`` with ``n <= 2^a - 1``.  We provide a generic
-:class:`BinaryField` with log/antilog tables plus numpy-vectorised bulk
-operations (the long-message benchmarks encode hundreds of kilobits, so
-the per-symbol hot path must be array-based, not per-element Python).
+:class:`BinaryField` with log/antilog tables whose bulk operations come
+in two byte-identical kernel implementations, selected at runtime by
+:func:`repro.perf.config.backend`:
+
+* ``"python"`` -- pure-python scalar reference: per-element log/exp
+  table lookups over plain lists.  No third-party dependencies.
+* ``"numpy"`` -- table-batched: one fused log-gather + exp-gather + XOR
+  reduction over contiguous ``int64`` arrays (the long-message
+  benchmarks encode hundreds of kilobits, so the per-symbol hot path
+  must be array-based, not per-element Python).
+
+Both kernels are exact GF arithmetic over the same tables, so outputs
+are bit-identical by construction; ``tests/test_backend_conformance.py``
+proves it differentially across the whole protocol stack.
 
 Two standard instantiations are exported:
 
@@ -15,11 +26,30 @@ Two standard instantiations are exported:
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Sequence
 
-from ..perf import counters
+try:  # numpy is an optional extra; the python backend needs none of it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in no-numpy installs
+    np = None  # type: ignore[assignment]
+
+from ..perf import config, counters
 
 __all__ = ["BinaryField", "GF256", "GF65536"]
+
+
+def _as_rows(data) -> list[list[int]]:
+    """Normalise matrix-shaped input to a list of int lists."""
+    if np is not None and isinstance(data, np.ndarray):
+        return data.tolist()
+    return [list(row) for row in data]
+
+
+def _as_flat(vec) -> list[int]:
+    """Normalise vector-shaped input to a list of ints."""
+    if np is not None and isinstance(vec, np.ndarray):
+        return vec.tolist()
+    return list(vec)
 
 
 class BinaryField:
@@ -34,8 +64,11 @@ class BinaryField:
         self.mul_group_order = self.order - 1
 
         # exp table doubled so exp[log a + log b] never needs a modulo.
-        exp = np.zeros(2 * self.mul_group_order, dtype=np.int64)
-        log = np.zeros(self.order, dtype=np.int64)
+        # Built as plain lists (the python backend's native format and
+        # the fastest container for the scalar ops); the numpy views are
+        # materialised lazily on first batched-kernel use.
+        exp = [0] * (2 * self.mul_group_order)
+        log = [0] * self.order
         x = 1
         for i in range(self.mul_group_order):
             exp[i] = x
@@ -52,8 +85,17 @@ class BinaryField:
                 f"0x{modulus:X} is not primitive for degree {degree}"
             )
         exp[self.mul_group_order:] = exp[: self.mul_group_order]
-        self._exp = exp
-        self._log = log
+        self._exp_list = exp
+        self._log_list = log
+        self._exp = None  # numpy views, built on demand
+        self._log = None
+
+    def _numpy_tables(self):
+        """The exp/log tables as ``int64`` arrays (numpy backend only)."""
+        if self._exp is None:
+            self._exp = np.array(self._exp_list, dtype=np.int64)
+            self._log = np.array(self._log_list, dtype=np.int64)
+        return self._exp, self._log
 
     # -- scalar ops -------------------------------------------------------
     def add(self, a: int, b: int) -> int:
@@ -64,13 +106,13 @@ class BinaryField:
         """GF product of two field elements."""
         if a == 0 or b == 0:
             return 0
-        return int(self._exp[self._log[a] + self._log[b]])
+        return self._exp_list[self._log_list[a] + self._log_list[b]]
 
     def inv(self, a: int) -> int:
         """Multiplicative inverse; raises on 0."""
         if a == 0:
             raise ZeroDivisionError("no inverse of 0 in a field")
-        return int(self._exp[self.mul_group_order - self._log[a]])
+        return self._exp_list[self.mul_group_order - self._log_list[a]]
 
     def div(self, a: int, b: int) -> int:
         """GF quotient ``a / b``."""
@@ -82,12 +124,22 @@ class BinaryField:
             return 1
         if a == 0:
             return 0
-        idx = (self._log[a] * exponent) % self.mul_group_order
-        return int(self._exp[idx])
+        idx = (self._log_list[a] * exponent) % self.mul_group_order
+        return self._exp_list[idx]
 
     # -- vectorised ops ---------------------------------------------------
-    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Element-wise GF product of two broadcastable int arrays."""
+    def mul_vec(self, a, b):
+        """Element-wise GF product of two same-length int sequences.
+
+        Returns an ``int64`` array on the numpy backend, a list on the
+        python backend; the element values are identical either way.
+        """
+        if config.backend() == "numpy":
+            return self._mul_vec_numpy(a, b)
+        return [self.mul(x, y) for x, y in zip(_as_flat(a), _as_flat(b))]
+
+    def _mul_vec_numpy(self, a, b):
+        exp, log = self._numpy_tables()
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
         zero = (a == 0) | (b == 0)
@@ -95,29 +147,67 @@ class BinaryField:
         # so no out-of-domain table access happens, then mask.
         safe_a = np.where(a == 0, 1, a)
         safe_b = np.where(b == 0, 1, b)
-        result = self._exp[self._log[safe_a] + self._log[safe_b]]
+        result = exp[log[safe_a] + log[safe_b]]
         return np.where(zero, 0, result)
 
-    def scalar_mul_vec(self, scalar: int, vec: np.ndarray) -> np.ndarray:
-        """GF product of one scalar with an int array."""
+    def scalar_mul_vec(self, scalar: int, vec):
+        """GF product of one scalar with an int sequence."""
+        if config.backend() == "numpy":
+            return self._scalar_mul_vec_numpy(scalar, vec)
+        return [self.mul(scalar, x) for x in _as_flat(vec)]
+
+    def _scalar_mul_vec_numpy(self, scalar: int, vec):
+        exp, log = self._numpy_tables()
         if scalar == 0:
             return np.zeros_like(np.asarray(vec, dtype=np.int64))
         vec = np.asarray(vec, dtype=np.int64)
         zero = vec == 0
         safe = np.where(zero, 1, vec)
-        result = self._exp[self._log[scalar] + self._log[safe]]
+        result = exp[log[scalar] + log[safe]]
         return np.where(zero, 0, result)
 
-    def matmul(self, matrix: list[list[int]], data: np.ndarray) -> np.ndarray:
+    def matmul(self, matrix: Sequence[Sequence[int]], data):
         """GF matrix product ``matrix (r x k) @ data (k x c) -> (r x c)``.
 
-        ``k`` is small (<= n parties), so the row loop stays Python while
-        everything over the chunk dimension ``c`` (message length / k) is
-        vectorised.  The discrete logs of ``data`` are looked up *once*
-        per call (not once per matrix coefficient); each output row is
-        then one fused exp-table gather plus an XOR reduction.
+        The single entry point both backends share, so the
+        ``gf_matmul`` counter is bumped identically no matter which
+        kernel runs.  ``k`` is small (<= n parties); everything over the
+        chunk dimension ``c`` (message length / k) is the hot axis.
         """
         counters.bump("gf_matmul")
+        if config.backend() == "numpy":
+            return self._matmul_numpy(matrix, data)
+        return self._matmul_python(matrix, data)
+
+    def _matmul_python(self, matrix, data) -> list[list[int]]:
+        """Scalar reference kernel: the textbook triple loop.
+
+        Deliberately written element by element through the public
+        :meth:`mul`/:meth:`add` scalar API -- this kernel is the
+        conformance *oracle* the batched backend is differentially
+        tested against, so it favours line-by-line obviousness over
+        throughput.
+        """
+        rows = _as_rows(matrix)
+        data = _as_rows(data)
+        cols = len(data[0]) if data else 0
+        out = []
+        for row in rows:
+            acc = [0] * cols
+            for coeff, src in zip(row, data):
+                if not coeff:
+                    continue
+                for j in range(cols):
+                    acc[j] = self.add(acc[j], self.mul(coeff, src[j]))
+            out.append(acc)
+        return out
+
+    def _matmul_numpy(self, matrix, data):
+        """Table-batched kernel: the discrete logs of ``data`` are
+        looked up *once* per call (not once per matrix coefficient);
+        each output row is then one fused exp-table gather plus an XOR
+        reduction."""
+        exp, log = self._numpy_tables()
         data = np.asarray(data, dtype=np.int64)
         rows = len(matrix)
         cols = data.shape[1]
@@ -126,14 +216,14 @@ class BinaryField:
             return out
         mat = np.asarray(matrix, dtype=np.int64)
         data_zero = data == 0
-        log_data = self._log[np.where(data_zero, 1, data)]
+        log_data = log[np.where(data_zero, 1, data)]
         for r in range(rows):
             row = mat[r]
             nonzero = np.flatnonzero(row)
             if nonzero.size == 0:
                 continue
-            products = self._exp[
-                self._log[row[nonzero, None]] + log_data[nonzero]
+            products = exp[
+                log[row[nonzero, None]] + log_data[nonzero]
             ]
             products[data_zero[nonzero]] = 0
             out[r] = np.bitwise_xor.reduce(products, axis=0)

@@ -16,26 +16,54 @@ Construction (classic polynomial-evaluation RS over ``GF(2^a)``):
   at the distinct non-zero point ``x_i = i + 1``,
 * decoding from any ``k`` codewords inverts the corresponding ``k x k``
   Vandermonde submatrix (Gauss-Jordan over GF) and recovers all chunks
-  with one vectorised matrix product.
+  with one matrix product.
 
-The codec object precomputes the generator matrix once per ``(n, k)``
-pair; encode/decode are then numpy-bound, which keeps the very-long-input
-experiments (hundreds of kilobits) fast.
+The codec precomputes the generator matrix once per ``(n, k)`` pair.
+The symbol plumbing and the Vandermonde application come in two
+byte-identical kernels selected by :func:`repro.perf.config.backend`:
+the ``"numpy"`` backend frames via ``frombuffer``/``reshape`` and
+evaluates with batched exp/log gathers (keeping the very-long-input
+experiments at hundreds of kilobits fast), the ``"python"`` backend is
+the dependency-free ``struct``-based scalar reference.
+
+Inverted decode submatrices are memoized **process-wide**, keyed by the
+full code parameters ``(field degree, field modulus, n, k, indices)``
+-- never by the index tuple alone, because distinct codes routinely
+decode from identical index tuples (the regression suite pins this).
 """
 
 from __future__ import annotations
 
+import struct
 from functools import lru_cache
 
-import numpy as np
+try:  # numpy is an optional extra; the python backend needs none of it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in no-numpy installs
+    np = None  # type: ignore[assignment]
 
 from ..errors import CodingError
 from ..perf import config, counters
 from .gf import GF65536, BinaryField
 
-__all__ = ["ReedSolomonCode", "rs_code"]
+__all__ = ["ReedSolomonCode", "rs_code", "clear_decode_matrix_cache"]
 
 _LENGTH_HEADER_BYTES = 4
+
+#: Process-wide inverted-Vandermonde memo.  FindPrefix-style loops
+#: decode from the same share set over and over, and the inversion is a
+#: pure function of the code parameters and the indices -- adversarial
+#: share *contents* never enter the key.  Keyed on the full
+#: ``(degree, modulus, n, k, indices)`` tuple: two codes with different
+#: parameters (or fields) frequently share index tuples and must never
+#: share inverses.
+_DECODE_MATRIX_CACHE: dict[tuple, list[list[int]]] = {}
+_DECODE_MATRIX_CACHE_MAX = 512
+
+
+def clear_decode_matrix_cache() -> None:
+    """Drop every memoized decode matrix (profiling cold-start hook)."""
+    _DECODE_MATRIX_CACHE.clear()
 
 
 class ReedSolomonCode:
@@ -59,13 +87,6 @@ class ReedSolomonCode:
             raise CodingError("field degree must be a multiple of 8")
         self.points = [i + 1 for i in range(n)]
         self.generator = field.vandermonde(self.points, k)
-        # Inverted Vandermonde submatrices keyed by the sorted index
-        # tuple: FindPrefix-style loops decode from the same share set
-        # over and over, and the inversion is a pure function of the
-        # indices -- adversarial share *contents* never enter the key.
-        self._decode_matrix = lru_cache(maxsize=128)(
-            self._invert_submatrix
-        )
 
     def _invert_submatrix(
         self, indices: tuple[int, ...]
@@ -75,22 +96,49 @@ class ReedSolomonCode:
             [self.generator[i] for i in indices]
         )
 
+    def _decode_matrix(self, indices: tuple[int, ...]) -> list[list[int]]:
+        """The cached inverse for this code's share-index tuple."""
+        key = (
+            self.field.degree,
+            self.field.modulus,
+            self.n,
+            self.k,
+            indices,
+        )
+        hit = _DECODE_MATRIX_CACHE.get(key)
+        if hit is None:
+            hit = self._invert_submatrix(indices)
+            if len(_DECODE_MATRIX_CACHE) >= _DECODE_MATRIX_CACHE_MAX:
+                _DECODE_MATRIX_CACHE.clear()
+            _DECODE_MATRIX_CACHE[key] = hit
+        return hit
+
     # -- byte <-> symbol plumbing -----------------------------------------
-    def _frame(self, data: bytes) -> np.ndarray:
-        """Length-frame, pad, and read ``data`` as a (k, chunks) array."""
+    def _framed(self, data: bytes) -> bytes:
+        """Length-frame and pad ``data`` to a whole number of chunks."""
         framed = len(data).to_bytes(_LENGTH_HEADER_BYTES, "big") + data
         stride = self.symbol_bytes * self.k
         padding = (-len(framed)) % stride
-        framed += b"\x00" * padding
-        dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
-        symbols = np.frombuffer(framed, dtype=dtype).astype(np.int64)
-        return symbols.reshape(-1, self.k).T  # (k, chunks)
+        return framed + b"\x00" * padding
 
-    def _unframe(self, symbols: np.ndarray) -> bytes:
-        """Inverse of :meth:`_frame`; raises :class:`CodingError` on junk."""
+    def _frame_numpy(self, data: bytes):
+        """Read the framed payload as a ``(k, chunks)`` int64 array."""
         dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
-        flat = symbols.T.reshape(-1).astype(dtype)
-        framed = flat.tobytes()
+        symbols = np.frombuffer(self._framed(data), dtype=dtype)
+        return symbols.astype(np.int64).reshape(-1, self.k).T
+
+    def _frame_python(self, data: bytes) -> list[list[int]]:
+        """Read the framed payload as ``k`` rows of chunk symbols."""
+        framed = self._framed(data)
+        if self.symbol_bytes == 2:
+            symbols = struct.unpack(f">{len(framed) // 2}H", framed)
+        else:
+            symbols = framed  # bytes already iterate as ints
+        # Row j of reshape(-1, k).T is every k-th symbol starting at j.
+        return [list(symbols[j::self.k]) for j in range(self.k)]
+
+    def _unframe_bytes(self, framed: bytes) -> bytes:
+        """Strip framing; raises :class:`CodingError` on junk."""
         if len(framed) < _LENGTH_HEADER_BYTES:
             raise CodingError("decoded payload shorter than length header")
         length = int.from_bytes(framed[:_LENGTH_HEADER_BYTES], "big")
@@ -103,15 +151,26 @@ class ReedSolomonCode:
             raise CodingError("non-zero padding in decoded payload")
         return body[:length]
 
+    def _symbols_to_bytes(self, row) -> bytes:
+        """One codeword row (chunk symbols) back to wire bytes."""
+        if np is not None and isinstance(row, np.ndarray):
+            dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
+            return row.astype(dtype).tobytes()
+        if self.symbol_bytes == 2:
+            return struct.pack(f">{len(row)}H", *row)
+        return bytes(row)
+
     # -- public API ---------------------------------------------------------
     def encode(self, data: bytes) -> list[bytes]:
         """``RS.ENCODE``: return the ``n`` codewords of ``data``."""
         counters.bump("rs_encode")
-        chunks = self._frame(data)                      # (k, c)
+        if config.backend() == "numpy":
+            chunks = self._frame_numpy(data)                 # (k, c)
+        else:
+            chunks = self._frame_python(data)
         evaluations = self.field.matmul(self.generator, chunks)  # (n, c)
-        dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
         return [
-            evaluations[i].astype(dtype).tobytes() for i in range(self.n)
+            self._symbols_to_bytes(evaluations[i]) for i in range(self.n)
         ]
 
     def share_length(self, data_len: int) -> int:
@@ -143,20 +202,36 @@ class ReedSolomonCode:
         if length == 0 or length % self.symbol_bytes:
             raise CodingError(f"share length {length} not a symbol multiple")
 
-        dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
-        # Fill the (k, c) symbol matrix row by row, upcasting straight
-        # into the preallocated array -- no per-share list, no stack copy.
-        received = np.empty(
-            (self.k, length // self.symbol_bytes), dtype=np.int64
-        )
-        for row, i in enumerate(indices):
-            received[row] = np.frombuffer(shares[i], dtype=dtype)
         if config.caches_enabled():
             decode_matrix = self._decode_matrix(indices)
         else:
             decode_matrix = self._invert_submatrix(indices)
+
+        if config.backend() == "numpy":
+            dtype = ">u2" if self.symbol_bytes == 2 else ">u1"
+            # Fill the (k, c) symbol matrix row by row, upcasting
+            # straight into the preallocated array -- no per-share
+            # list, no stack copy.
+            received = np.empty(
+                (self.k, length // self.symbol_bytes), dtype=np.int64
+            )
+            for row, i in enumerate(indices):
+                received[row] = np.frombuffer(shares[i], dtype=dtype)
+            chunks = self.field.matmul(decode_matrix, received)  # (k, c)
+            flat = chunks.T.reshape(-1).astype(dtype)
+            return self._unframe_bytes(flat.tobytes())
+
+        if self.symbol_bytes == 2:
+            received = [
+                list(struct.unpack(f">{length // 2}H", shares[i]))
+                for i in indices
+            ]
+        else:
+            received = [list(shares[i]) for i in indices]
         chunks = self.field.matmul(decode_matrix, received)  # (k, c)
-        return self._unframe(chunks)
+        cols = len(chunks[0]) if chunks else 0
+        flat = [chunks[j][c] for c in range(cols) for j in range(self.k)]
+        return self._unframe_bytes(self._symbols_to_bytes(flat))
 
 
 @lru_cache(maxsize=64)

@@ -25,9 +25,9 @@ import hashlib
 from dataclasses import dataclass
 from functools import lru_cache
 
-from ..perf import counters
+from ..perf import config, counters
 from ..sim.sizing import WireSized, memoized_wire_bits
-from .hashing import digest_size_bytes
+from .hashing import digest_size_bytes, hash_leaves, hash_pair_level
 
 __all__ = ["MerkleWitness", "build", "verify", "witness_bits"]
 
@@ -91,6 +91,43 @@ def _empty_hash(kappa: int) -> bytes:
     ).digest()[: digest_size_bytes(kappa)]
 
 
+def _build_levels_batched(
+    kappa: int, leaves: list[bytes], width: int
+) -> list[list[bytes]]:
+    """Batched tree construction: one hashlib call per node over a
+    pre-packed contiguous buffer (:func:`~repro.crypto.hashing.
+    hash_leaves` / :func:`~repro.crypto.hashing.hash_pair_level`)
+    instead of per-part ``update()`` churn."""
+    level = hash_leaves(kappa, _frame_prefix(_LEAF_TAG), leaves)
+    level.extend([_empty_hash(kappa)] * (width - len(leaves)))
+    size = digest_size_bytes(kappa)
+    node_prefix = _frame_prefix(_NODE_TAG) + _length_frame(size)
+    levels = [level]
+    while len(level) > 1:
+        level = hash_pair_level(kappa, node_prefix, level)
+        levels.append(level)
+    return levels
+
+
+def _build_levels_reference(
+    kappa: int, leaves: list[bytes], width: int
+) -> list[list[bytes]]:
+    """Scalar reference construction: one :func:`_leaf_hash` /
+    :func:`_node_hash` call per node.  Byte-identical to the batched
+    path (same framing, same domain separation) with identical
+    ``sha256`` counter totals -- one bump per computed node."""
+    level = [_leaf_hash(kappa, leaf) for leaf in leaves]
+    level.extend([_empty_hash(kappa)] * (width - len(leaves)))
+    levels = [level]
+    while len(level) > 1:
+        level = [
+            _node_hash(kappa, level[i], level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+        levels.append(level)
+    return levels
+
+
 def build(
     kappa: int, leaves: list[bytes]
 ) -> tuple[bytes, list[MerkleWitness]]:
@@ -103,33 +140,11 @@ def build(
     while width < count:
         width *= 2
 
-    # Batched leaf hashing: one hashlib call per leaf over a
-    # preassembled buffer instead of per-part update() churn.
-    size = digest_size_bytes(kappa)
-    sha256 = hashlib.sha256
-    leaf_prefix = _frame_prefix(_LEAF_TAG)
-    level = [
-        sha256(
-            leaf_prefix + _length_frame(len(leaf)) + leaf
-        ).digest()[:size]
-        for leaf in leaves
-    ]
-    counters.bump("sha256", count)
-    level.extend([_empty_hash(kappa)] * (width - count))
-
     # levels[0] = leaf hashes, levels[-1] = [root]
-    node_prefix = _frame_prefix(_NODE_TAG) + _length_frame(size)
-    mid_frame = _length_frame(size)
-    levels = [level]
-    while len(level) > 1:
-        counters.bump("sha256", len(level) // 2)
-        level = [
-            sha256(
-                node_prefix + level[i] + mid_frame + level[i + 1]
-            ).digest()[:size]
-            for i in range(0, len(level), 2)
-        ]
-        levels.append(level)
+    if config.backend() == "numpy":
+        levels = _build_levels_batched(kappa, leaves, width)
+    else:
+        levels = _build_levels_reference(kappa, leaves, width)
 
     witnesses = []
     for index in range(count):

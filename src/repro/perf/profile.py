@@ -33,6 +33,7 @@ import os
 import platform
 import pstats
 import time
+from contextlib import nullcontext as _nullcontext
 from typing import Any, Sequence
 
 from . import config, counters
@@ -40,6 +41,8 @@ from . import config, counters
 __all__ = [
     "QUICK_CONFIGS",
     "FULL_CONFIGS",
+    "COMPARISON_CONFIG",
+    "backend_comparison",
     "config_key",
     "hotpath_document",
     "check_counters",
@@ -60,13 +63,25 @@ QUICK_CONFIGS: tuple[dict[str, Any], ...] = (
 )
 
 #: The full set adds the long-value configs the paper's bounds are
-#: about, including the headline ``ell = 65536`` benchmark point.
+#: about, including the ``ell = 65536`` and ``ell = 262144`` long-value
+#: benchmark points the vectorized backend is aimed at.
 FULL_CONFIGS: tuple[dict[str, Any], ...] = QUICK_CONFIGS + (
     dict(protocol="fixed_length_ca", n=10, t=3, ell=4096,
          seed=0, spread="spread"),
     dict(protocol="fixed_length_ca", n=7, t=2, ell=65536,
          seed=4, spread="clustered"),
+    dict(protocol="fixed_length_ca", n=7, t=2, ell=262144,
+         seed=4, spread="clustered"),
     dict(protocol="pi_z", n=7, t=2, ell=16384, seed=0, spread="spread"),
+)
+
+#: The backend A/B case: the longest-``ell`` FixedLengthCA point, where
+#: the coding/crypto kernels dominate wall time.  Run under every
+#: available backend by :func:`backend_comparison`; the deterministic
+#: entries must match byte for byte.
+COMPARISON_CONFIG: dict[str, Any] = dict(
+    protocol="fixed_length_ca", n=7, t=2, ell=524288,
+    seed=4, spread="clustered",
 )
 
 
@@ -145,41 +160,97 @@ def _hotspots(cfg: dict[str, Any], top: int) -> list[dict[str, Any]]:
     return rows
 
 
+def backend_comparison(
+    cfg: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Run the comparison config under every available backend.
+
+    Returns the ``backend_comparison`` section: per-backend wall time,
+    whether the deterministic entries (counters, bits, rounds,
+    messages, output digest) are byte-identical across backends, and
+    the numpy-over-python speedup when both backends are present.  The
+    wall times are machine-local; the ``identical`` verdict is not.
+    """
+    cfg = dict(COMPARISON_CONFIG if cfg is None else cfg)
+    backends = config.available_backends()
+    entries: dict[str, dict[str, Any]] = {}
+    wall: dict[str, float] = {}
+    for name in backends:
+        with config.use_backend(name):
+            entry, wall_s = _run_config(cfg)
+        entries[name] = entry
+        wall[name] = round(wall_s, 6)
+    reference = entries[backends[0]]
+    mismatches = [
+        name for name in backends[1:] if entries[name] != reference
+    ]
+    section: dict[str, Any] = {
+        "config": config_key(cfg),
+        "backends": list(backends),
+        "wall_s": wall,
+        "identical": not mismatches,
+        "counters": reference["counters"],
+    }
+    if mismatches:
+        section["mismatching_backends"] = mismatches
+    if "python" in wall and "numpy" in wall and wall["numpy"] > 0:
+        section["speedup_numpy_over_python"] = round(
+            wall["python"] / wall["numpy"], 2
+        )
+    return section
+
+
 def hotpath_document(
     quick: bool = False,
     cprofile: bool = True,
     top: int = 15,
     configs: Sequence[dict[str, Any]] | None = None,
+    backend: str | None = None,
+    compare_backends: bool = True,
 ) -> dict[str, Any]:
-    """Run the profile battery and build the benchmark document."""
+    """Run the profile battery and build the benchmark document.
+
+    ``backend`` pins the kernel backend for the battery (default: the
+    process' resolved backend); the deterministic section is identical
+    either way.  ``compare_backends`` additionally runs
+    :data:`COMPARISON_CONFIG` under *every* available backend and
+    records the A/B section (skipped automatically when only one
+    backend is installed).
+    """
     chosen = list(
         configs if configs is not None
         else (QUICK_CONFIGS if quick else FULL_CONFIGS)
     )
     deterministic: dict[str, Any] = {}
     wall: dict[str, float] = {}
-    for cfg in chosen:
-        key = config_key(cfg)
-        entry, wall_s = _run_config(cfg)
-        deterministic[key] = entry
-        wall[key] = round(wall_s, 6)
-    timing: dict[str, Any] = {
-        "wall_s": wall,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-    }
-    if cprofile and chosen:
-        heaviest = max(chosen, key=lambda cfg: cfg["ell"] * cfg["n"])
-        timing["hotspots"] = {
-            "config": config_key(heaviest),
-            "top": _hotspots(heaviest, top),
+    with config.use_backend(backend) if backend else _nullcontext():
+        battery_backend = config.backend()
+        for cfg in chosen:
+            key = config_key(cfg)
+            entry, wall_s = _run_config(cfg)
+            deterministic[key] = entry
+            wall[key] = round(wall_s, 6)
+        timing: dict[str, Any] = {
+            "wall_s": wall,
+            "backend": battery_backend,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
         }
-    return {
+        if cprofile and chosen:
+            heaviest = max(chosen, key=lambda cfg: cfg["ell"] * cfg["n"])
+            timing["hotspots"] = {
+                "config": config_key(heaviest),
+                "top": _hotspots(heaviest, top),
+            }
+    document = {
         "schema": SCHEMA,
         "quick": bool(quick) if configs is None else None,
         "deterministic": deterministic,
         "timing": timing,
     }
+    if compare_backends and len(config.available_backends()) > 1:
+        document["backend_comparison"] = backend_comparison()
+    return document
 
 
 def check_counters(

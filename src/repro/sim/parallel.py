@@ -79,14 +79,24 @@ def resolve_workers(workers: int | str | None) -> int:
     return count
 
 
-def warm_worker() -> None:
+def warm_worker(backend: str | None = None) -> None:
     """Pool initializer: pre-build hot tables before the first case.
 
     Importing :mod:`repro.coding.gf` constructs the ``GF256``/``GF65536``
     exp/log tables at module scope, which is the only expensive one-off
-    state the protocol stack needs.
+    state the protocol stack needs.  ``backend`` pins the worker's
+    kernel backend to the parent's resolved choice, so a campaign run
+    under ``repro fuzz --backend ...`` (or a programmatic
+    :func:`repro.perf.config.set_backend`) uses the same kernels in
+    every process.  Results are byte-identical across backends either
+    way -- the pinning keeps *timings* and conformance runs honest.
     """
     import repro.coding.gf  # noqa: F401  (import is the warm-up)
+
+    if backend is not None:
+        from repro.perf import config
+
+        config.set_backend(backend)
 
 
 class CaseTimeout(Exception):
@@ -244,10 +254,13 @@ def _pool_pass(
     outcomes: list[CaseOutcome],
 ) -> list[list[tuple[int, Any]]]:
     """One executor pass; returns the chunks lost to a pool breakage."""
+    from ..perf import config
+
     failed: list[list[tuple[int, Any]]] = []
     executor = ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         initializer=warm_worker,
+        initargs=(config.backend(),),
     )
     try:
         futures = [

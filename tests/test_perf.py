@@ -159,6 +159,9 @@ def test_decode_matrix_cache_survives_garbled_shares():
 
 
 def test_decode_matrix_cached_per_index_tuple():
+    # The decode-matrix memo is process-wide; start from a cold cache so
+    # a decode earlier in the test session cannot pre-warm this key.
+    config.reset_process_caches()
     code = ReedSolomonCode(5, 3)
     shares = code.encode(b"abc")
     subset = {0: shares[0], 1: shares[1], 3: shares[3]}
