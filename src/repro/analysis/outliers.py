@@ -1,0 +1,51 @@
+"""Outlier reports for adversary-search campaigns (``BENCH_search.json``).
+
+The search engine (:mod:`repro.sim.search`) hunts cases that press the
+protocol stack hardest against the paper's bit/round envelopes; this
+module renders one campaign's results as a diff-able JSON benchmark
+document.  Like ``BENCH_hotpath.json``, the document separates the
+**deterministic** section (outlier margins, violation indices, arm
+statistics -- identical for a given campaign seed on every host) from
+the **environment** section (worker count, retry noise), so CI can diff
+the former and merely archive the latter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..sim.search import SearchReport
+
+__all__ = ["SEARCH_SCHEMA", "search_document", "save_search_document"]
+
+SEARCH_SCHEMA = "repro.search-outliers/v1"
+
+
+def search_document(report: SearchReport) -> dict:
+    """Build the benchmark document for one campaign report."""
+    deterministic = report.to_dict()
+    # margins are the headline: surface them per outlier, ready-made.
+    for entry in deterministic["outliers"]:
+        bit_budget = entry["bit_budget"] or 1
+        round_budget = entry["round_budget"] or 1
+        entry["bit_fraction"] = round(entry["bits"] / bit_budget, 6)
+        entry["round_fraction"] = round(entry["rounds"] / round_budget, 6)
+    return {
+        "schema": SEARCH_SCHEMA,
+        "deterministic": deterministic,
+        "environment": {
+            "workers": report.workers,
+            "retries": report.retries,
+            "artifacts": list(report.artifacts),
+        },
+    }
+
+
+def save_search_document(path: str | Path, report: SearchReport) -> dict:
+    """Write the campaign's benchmark document; returns it."""
+    document = search_document(report)
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    return document

@@ -16,7 +16,10 @@ self-contained ``HighCostCA`` path (:mod:`repro.sim.supervisor`), and
 a partial-synchrony plane -- GST-style transports with healing
 partitions and link churn (:mod:`repro.sim.partial_sync`), PBFT-style
 timeout escalation in the round synchronizer, and an escalation ladder
-down to asynchronous Approximate Agreement.
+down to asynchronous Approximate Agreement.  On top of the chaos plane
+sits the adversary-search engine (:mod:`repro.sim.search`): a
+coverage-guided bandit optimizer over the composed fault space, with
+crash-safe resumable campaign manifests (:mod:`repro.sim.manifest`).
 """
 
 from .adversary import (
@@ -63,7 +66,15 @@ from .lossy import (
     TimeoutEscalation,
     TransportTimeout,
 )
+from .manifest import CampaignJournal, JournalCorrupt
 from .metrics import CommunicationStats
+from .search import (
+    SearchCell,
+    SearchConfig,
+    SearchEngine,
+    SearchReport,
+    run_search,
+)
 from .network import ExecutionResult, SynchronousNetwork, default_round_budget
 from .parallel import CaseOutcome, derive_seed, resolve_workers, run_many
 from .partial_sync import PartialSyncTransport, stabilization_time_of
@@ -90,6 +101,7 @@ __all__ = [
     "Adversary",
     "AgreementMonitor",
     "BitBudgetMonitor",
+    "CampaignJournal",
     "CommunicationStats",
     "ComposedAdversary",
     "Context",
@@ -112,6 +124,7 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "InvariantMonitor",
+    "JournalCorrupt",
     "KingTargetingAdversary",
     "LockstepMonitor",
     "Outgoing",
@@ -126,6 +139,10 @@ __all__ = [
     "RoundView",
     "ScriptedAdversary",
     "SplitVoteAdversary",
+    "SearchCell",
+    "SearchConfig",
+    "SearchEngine",
+    "SearchReport",
     "RoundRecord",
     "SynchronousNetwork",
     "TimeoutEscalation",
@@ -143,6 +160,7 @@ __all__ = [
     "paper_round_budget",
     "run_parallel",
     "run_protocol",
+    "run_search",
     "run_with_escalation",
     "run_with_fallback",
     "stabilization_time_of",

@@ -36,9 +36,13 @@ import json
 import math
 import os
 import random
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from fractions import Fraction
 from typing import Any, Callable
+
+from ..perf import counters as perf_counters
+from ..perf.config import reset_process_caches
 
 from ..core.bitstrings import BitString
 from ..errors import ProtocolViolation, SimulationError
@@ -74,6 +78,7 @@ from .supervisor import run_with_escalation
 
 __all__ = [
     "ARTIFACT_FORMAT",
+    "ARTIFACT_SCHEMA_VERSION",
     "ADVERSARY_CATALOG",
     "ProtocolSpec",
     "CaseStats",
@@ -81,6 +86,7 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "standard_registry",
+    "sample_faults",
     "sample_case",
     "sample_case_at",
     "run_case",
@@ -89,13 +95,33 @@ __all__ = [
     "failure_to_artifact",
     "save_artifact",
     "load_artifact",
+    "validate_artifact",
     "replay_artifact",
+    "replay_counters",
     "fuzz",
     "encode_payload",
     "decode_payload",
 ]
 
 ARTIFACT_FORMAT = "repro-fuzz/1"
+
+#: Version of the artifact *schema* (the set and meaning of the keys).
+#: Bumped whenever a ``FaultSpec`` axis or artifact section is added, so
+#: corpus files written by an older (or newer) toolchain fail loudly on
+#: load instead of replaying with silently-defaulted fault axes.
+#: History: 1 = implicit (pre-versioned artifacts, PR 1-7); 2 = adds the
+#: ``schema_version`` stamp itself and the optional ``counters`` block.
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: Deterministic counters that are independent of process-level cache
+#: state: safe to record per-case without a cache reset, and therefore
+#: safe to journal (identical on any worker, any backend, any host).
+NETWORK_COUNTERS = (
+    "net_rounds",
+    "net_messages",
+    "transport_resyncs",
+    "transport_beacons",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -342,34 +368,19 @@ _LINK_RATES = (0.0, 0.05, 0.2)
 _PRE_GST_RATES = (0.0, 0.3, 0.6)
 
 
-def sample_case(
+def sample_faults(
     rng: random.Random,
-    registry: dict[str, ProtocolSpec],
+    n: int,
+    t: int,
     crash: bool = False,
     partition: bool = False,
-) -> FuzzCase:
-    """Draw one chaos configuration from the campaign distribution.
+) -> FaultSpec:
+    """Draw one :class:`FaultSpec` from the campaign distribution.
 
-    ``crash=True`` additionally samples the resilience-plane axes:
-    honest-link drop/delay/reorder rates (realised by a
-    ``LossyTransport``) and up to ``t`` crash/restart windows for honest
-    parties (realised by WAL replay).  ``partition=True`` further
-    samples the partial-synchrony axes: a GST with pre-GST extra loss,
-    healing (or never-healing) partition windows, and link-churn
-    slowdown windows, all keyed in global transport slots.  Every extra
-    draw is gated on its flag and appended *after* the existing draws,
-    so ``crash=False`` / ``partition=False`` campaigns sample exactly
-    the same cases as before each plane existed.
+    Shared by :func:`sample_case` and the adversary-search engine's
+    fresh-case synthesis (:mod:`repro.sim.search`); the draw order is
+    part of the campaign determinism contract and must not change.
     """
-    name = rng.choice(sorted(registry))
-    spec = registry[name]
-    n = rng.choice((4, 5, 6, 7))
-    t = rng.randint(1, max(1, (n - 1) // 3))
-    ell = spec.ell_for(n, rng.choice((8, 16, 32, 64, 128)))
-    count = rng.randint(1, 3)
-    adversaries = tuple(
-        rng.choice(sorted(ADVERSARY_CATALOG)) for _ in range(count)
-    )
     drop = rng.choice(_FAULT_RATES)
     duplicate = rng.choice(_FAULT_RATES)
     garble = rng.choice(_FAULT_RATES)
@@ -416,7 +427,7 @@ def sample_case(
             end = start + rng.randint(10, 200)
             churn_windows.append((start, end, rng.choice((0.3, 0.6))))
         link_churn = tuple(churn_windows)
-    faults = FaultSpec(
+    return FaultSpec(
         drop=drop,
         duplicate=duplicate,
         garble=garble,
@@ -431,6 +442,37 @@ def sample_case(
         partitions=partitions,
         link_churn=link_churn,
     )
+
+
+def sample_case(
+    rng: random.Random,
+    registry: dict[str, ProtocolSpec],
+    crash: bool = False,
+    partition: bool = False,
+) -> FuzzCase:
+    """Draw one chaos configuration from the campaign distribution.
+
+    ``crash=True`` additionally samples the resilience-plane axes:
+    honest-link drop/delay/reorder rates (realised by a
+    ``LossyTransport``) and up to ``t`` crash/restart windows for honest
+    parties (realised by WAL replay).  ``partition=True`` further
+    samples the partial-synchrony axes: a GST with pre-GST extra loss,
+    healing (or never-healing) partition windows, and link-churn
+    slowdown windows, all keyed in global transport slots.  Every extra
+    draw is gated on its flag and appended *after* the existing draws,
+    so ``crash=False`` / ``partition=False`` campaigns sample exactly
+    the same cases as before each plane existed.
+    """
+    name = rng.choice(sorted(registry))
+    spec = registry[name]
+    n = rng.choice((4, 5, 6, 7))
+    t = rng.randint(1, max(1, (n - 1) // 3))
+    ell = spec.ell_for(n, rng.choice((8, 16, 32, 64, 128)))
+    count = rng.randint(1, 3)
+    adversaries = tuple(
+        rng.choice(sorted(ADVERSARY_CATALOG)) for _ in range(count)
+    )
+    faults = sample_faults(rng, n, t, crash=crash, partition=partition)
     return FuzzCase(
         protocol=name,
         n=n,
@@ -603,6 +645,10 @@ class FuzzReport:
     #: health visible at a glance in the summary and CLI output.
     worker_crashes: int = 0
     case_timeouts: int = 0
+    #: transient-case retries the engine performed (a crashed/timed-out
+    #: case is re-run once on a fresh pool with the same derived seed
+    #: before being recorded as terminal).
+    retries: int = 0
     #: timeout-escalation accounting across the campaign's completed
     #: cases: total transport-level resyncs, cases that needed at least
     #: one, and degradations per escalation-ladder rung.
@@ -626,10 +672,11 @@ class FuzzReport:
             f"fuzz campaign: {self.runs} runs, seed {self.seed}"
             f"{crash_tag}{partition_tag}, {len(self.failures)} failure(s)"
         ]
-        if self.worker_crashes or self.case_timeouts:
+        if self.worker_crashes or self.case_timeouts or self.retries:
             lines.append(
                 f"  engine: {self.worker_crashes} worker crash(es), "
-                f"{self.case_timeouts} case timeout(s)"
+                f"{self.case_timeouts} case timeout(s), "
+                f"{self.retries} retried case(s)"
             )
         if self.resyncs or self.escalated_cases or self.degradations:
             rungs = ", ".join(
@@ -768,7 +815,7 @@ def _execute(
 
 @dataclass
 class CaseStats:
-    """Resilience accounting of one completed (non-failing) case."""
+    """Deterministic accounting of one completed (non-failing) case."""
 
     #: transport-level escalated retries the execution performed.
     resyncs: int = 0
@@ -776,44 +823,104 @@ class CaseStats:
     escalated_rounds: int = 0
     #: ladder rung that produced the outputs (``None`` = primary).
     rung: str | None = None
+    #: honest protocol bits the execution spent (0 on failures).
+    bits: int = 0
+    #: logical rounds the execution took (0 on failures).
+    rounds: int = 0
+    #: the case's theory-derived envelopes (filled even on failures, so
+    #: the search engine can normalise a violating case's fitness).
+    bit_budget: int = 0
+    round_budget: int = 0
+    #: cache-state-independent deterministic counters of the execution
+    #: (the :data:`NETWORK_COUNTERS` subset -- safe to journal).
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def margins(self) -> "EnvelopeMargins":
+        """Envelope margins of the completed execution."""
+        from .invariants import EnvelopeMargins
+
+        return EnvelopeMargins(
+            bits_used=self.bits,
+            bit_budget=self.bit_budget,
+            rounds_used=self.rounds,
+            round_budget=self.round_budget,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (campaign-journal outcome block)."""
+        return {
+            "resyncs": self.resyncs,
+            "escalated_rounds": self.escalated_rounds,
+            "rung": self.rung,
+            "bits": self.bits,
+            "rounds": self.rounds,
+            "bit_budget": self.bit_budget,
+            "round_budget": self.round_budget,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseStats":
+        return cls(
+            resyncs=data.get("resyncs", 0),
+            escalated_rounds=data.get("escalated_rounds", 0),
+            rung=data.get("rung"),
+            bits=data.get("bits", 0),
+            rounds=data.get("rounds", 0),
+            bit_budget=data.get("bit_budget", 0),
+            round_budget=data.get("round_budget", 0),
+            counters=dict(data.get("counters", {})),
+        )
 
 
 def run_case_ex(
     case: FuzzCase, registry: dict[str, ProtocolSpec] | None = None
 ) -> tuple["FuzzFailure | None", CaseStats]:
-    """Like :func:`run_case`, plus the case's resilience accounting."""
+    """Like :func:`run_case`, plus the case's deterministic accounting."""
     registry = registry or standard_registry()
     spec = registry[case.protocol]
     inputs = _build_inputs(case, spec)
     adversary = _build_adversary(case)
-    try:
-        result = _execute(case, spec, inputs, adversary)
-    except ProtocolViolation as violation:
-        return FuzzFailure(
-            case=case,
-            kind=violation.monitor or "ProtocolViolation",
-            message=str(violation),
-            inputs=inputs,
-            initial_corruptions=set(adversary.initial_corruptions),
-            script=dict(adversary.script),
-            adapt_schedule=list(adversary.adapt_schedule),
-            crash_schedule=list(adversary.crash_schedule),
-            original_script_size=len(adversary.script),
-        ), CaseStats()
-    except SimulationError as error:
-        return FuzzFailure(
-            case=case,
-            kind="SimulationError",
-            message=str(error),
-            inputs=inputs,
-            initial_corruptions=set(adversary.initial_corruptions),
-            script=dict(adversary.script),
-            adapt_schedule=list(adversary.adapt_schedule),
-            crash_schedule=list(adversary.crash_schedule),
-            original_script_size=len(adversary.script),
-        ), CaseStats()
-    stats = CaseStats()
+    stats = CaseStats(
+        bit_budget=spec.bit_budget(case.n, case.t, case.ell, case.kappa),
+        round_budget=spec.round_budget(case.n, case.t, case.ell),
+    )
+    with perf_counters.capture() as captured:
+        try:
+            result = _execute(case, spec, inputs, adversary)
+        except ProtocolViolation as violation:
+            return FuzzFailure(
+                case=case,
+                kind=violation.monitor or "ProtocolViolation",
+                message=str(violation),
+                inputs=inputs,
+                initial_corruptions=set(adversary.initial_corruptions),
+                script=dict(adversary.script),
+                adapt_schedule=list(adversary.adapt_schedule),
+                crash_schedule=list(adversary.crash_schedule),
+                original_script_size=len(adversary.script),
+            ), stats
+        except SimulationError as error:
+            return FuzzFailure(
+                case=case,
+                kind="SimulationError",
+                message=str(error),
+                inputs=inputs,
+                initial_corruptions=set(adversary.initial_corruptions),
+                script=dict(adversary.script),
+                adapt_schedule=list(adversary.adapt_schedule),
+                crash_schedule=list(adversary.crash_schedule),
+                original_script_size=len(adversary.script),
+            ), stats
+    # only the cache-state-independent subset is recorded: the full
+    # block depends on what ran earlier in this process (decode-matrix
+    # memo, frame-prefix caches) and would poison journal digests.
+    stats.counters = {
+        name: captured[name] for name in NETWORK_COUNTERS if name in captured
+    }
     if result is not None:
+        stats.bits = result.stats.honest_bits
+        stats.rounds = result.stats.rounds
         stats.resyncs = result.stats.resync_attempts
         stats.escalated_rounds = result.stats.escalated_rounds
         if result.fallback is not None:
@@ -997,6 +1104,7 @@ def failure_to_artifact(failure: FuzzFailure) -> dict:
     """Serialise a failure into the JSON repro-artifact structure."""
     return {
         "format": ARTIFACT_FORMAT,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
         "case": failure.case.to_dict(),
         "violation": {"kind": failure.kind, "message": failure.message},
         "inputs": [str(v) for v in failure.inputs],
@@ -1014,24 +1122,108 @@ def failure_to_artifact(failure: FuzzFailure) -> dict:
     }
 
 
-def save_artifact(failure: FuzzFailure, path: str) -> str:
-    """Write a failure's repro artifact to ``path``; returns the path."""
+#: every key failure_to_artifact may write (plus the optional recorded
+#: counter block); anything else in a loaded artifact draws a warning.
+_ARTIFACT_KEYS = frozenset(
+    (
+        "format",
+        "schema_version",
+        "case",
+        "violation",
+        "inputs",
+        "initial_corruptions",
+        "adapt_schedule",
+        "crash_schedule",
+        "script",
+        "shrunk",
+        "original_script_size",
+        "counters",
+    )
+)
+
+
+def validate_artifact(artifact: dict) -> list[str]:
+    """Check an artifact's format/schema stamps; warn on unknown keys.
+
+    Raises :class:`ValueError` when the artifact's wire ``format`` or
+    ``schema_version`` does not match this toolchain -- a pre-versioned
+    corpus file (PR 1-7) or one from a newer writer would otherwise
+    replay with silently-defaulted ``FaultSpec`` axes.  Unknown keys in
+    the top level, the ``case`` section, or the ``faults`` section are
+    *warnings* (emitted via :mod:`warnings` and returned), since extra
+    keys are how forward-compatible writers annotate artifacts.
+    """
+    if artifact.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"unsupported artifact format {artifact.get('format')!r}"
+        )
+    version = artifact.get("schema_version")
+    if version is None:
+        raise ValueError(
+            "artifact has no schema_version stamp (written by a "
+            f"pre-versioned toolchain); current schema is "
+            f"{ARTIFACT_SCHEMA_VERSION} -- re-generate the artifact"
+        )
+    if version != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"artifact schema_version {version} does not match this "
+            f"toolchain's {ARTIFACT_SCHEMA_VERSION}"
+        )
+    messages: list[str] = []
+    sections = [
+        ("artifact", artifact, _ARTIFACT_KEYS),
+        (
+            "case",
+            artifact.get("case", {}),
+            frozenset(f.name for f in dataclass_fields(FuzzCase)),
+        ),
+        (
+            "faults",
+            artifact.get("case", {}).get("faults", {}),
+            frozenset(f.name for f in dataclass_fields(FaultSpec)),
+        ),
+    ]
+    for label, section, known in sections:
+        unknown = sorted(set(section) - known)
+        if unknown:
+            messages.append(
+                f"unknown {label} key(s) {unknown}: written by a newer "
+                "or patched toolchain; they are ignored on replay"
+            )
+    for message in messages:
+        warnings.warn(message, stacklevel=2)
+    return messages
+
+
+def save_artifact(
+    failure: FuzzFailure,
+    path: str,
+    registry: dict[str, ProtocolSpec] | None = None,
+    record_counters: bool = True,
+) -> str:
+    """Write a failure's repro artifact to ``path``; returns the path.
+
+    When ``record_counters`` is set (the default) the artifact also
+    embeds the deterministic counter block of one replay of the failure
+    (:func:`replay_counters`), turning the corpus entry into a
+    regression fixture for ``repro replay --verify-counters``.
+    """
+    artifact = failure_to_artifact(failure)
+    if record_counters:
+        artifact["counters"] = replay_counters(artifact, registry)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w") as handle:
-        json.dump(failure_to_artifact(failure), handle, indent=2)
+        json.dump(artifact, handle, indent=2)
         handle.write("\n")
     return path
 
 
 def load_artifact(path: str) -> dict:
-    """Load and validate a repro artifact."""
+    """Load and validate a repro artifact (see :func:`validate_artifact`)."""
     with open(path) as handle:
         artifact = json.load(handle)
-    if artifact.get("format") != ARTIFACT_FORMAT:
-        raise ValueError(
-            f"unsupported artifact format {artifact.get('format')!r}"
-        )
+    validate_artifact(artifact)
     return artifact
 
 
@@ -1083,6 +1275,26 @@ def replay_artifact(
     except SimulationError as error:
         return ReplayOutcome(kind="SimulationError", message=str(error))
     return ReplayOutcome(kind=None, message=None)
+
+
+def replay_counters(
+    artifact: dict | str,
+    registry: dict[str, ProtocolSpec] | None = None,
+) -> dict[str, int]:
+    """Replay an artifact and return its full deterministic counter block.
+
+    Process-level caches (decode-matrix memo, hash-prefix LRUs) are
+    reset first so the block is a pure function of the artifact -- the
+    same dict on every host, backend, and process history.  This is the
+    block ``save_artifact`` embeds and ``repro replay --verify-counters``
+    diffs.
+    """
+    if isinstance(artifact, str):
+        artifact = load_artifact(artifact)
+    reset_process_caches()
+    with perf_counters.capture() as captured:
+        replay_artifact(artifact, registry)
+    return {name: captured[name] for name in sorted(captured)}
 
 
 # ---------------------------------------------------------------------------
@@ -1230,8 +1442,10 @@ def fuzz(
             tasks,
             workers=worker_count,
             timeout_s=case_timeout_s,
+            retries=1,
         )
         outcomes = [outcome.value for outcome in collected]
+        report.retries = sum(outcome.retries for outcome in collected)
         errors = {
             outcome.index: f"{outcome.error_type}: {outcome.error}"
             for outcome in collected
@@ -1286,5 +1500,7 @@ def fuzz(
             path = os.path.join(
                 artifact_dir, f"repro-{seed}-{index:04d}.json"
             )
-            report.artifacts.append(save_artifact(failure, path))
+            report.artifacts.append(
+                save_artifact(failure, path, registry=parent_registry)
+            )
     return report

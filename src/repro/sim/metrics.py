@@ -109,6 +109,26 @@ class CommunicationStats:
         """Total link-layer bits spent restoring the lockstep abstraction."""
         return self.retrans_bits + self.ack_bits + self.beacon_bits
 
+    def summary_dict(self) -> dict[str, int]:
+        """Deterministic scalar summary of one execution's accounting.
+
+        Used by the campaign journal (:mod:`repro.sim.manifest`) and the
+        adversary-search engine: only machine-independent integers, so a
+        record's digest is identical on every host and worker count.
+        ``wall_s`` is deliberately excluded (machine-local noise).
+        """
+        return {
+            "honest_bits": self.honest_bits,
+            "honest_messages": self.honest_messages,
+            "rounds": self.rounds,
+            "retrans_bits": self.retrans_bits,
+            "ack_bits": self.ack_bits,
+            "beacon_bits": self.beacon_bits,
+            "transport_slots": self.transport_slots,
+            "resync_attempts": self.resync_attempts,
+            "escalated_rounds": self.escalated_rounds,
+        }
+
     def channel_report(self) -> list[tuple[str, int, int]]:
         """Return ``(channel, bits, messages)`` rows sorted by bits desc."""
         rows = [

@@ -115,10 +115,27 @@ class CaseOutcome:
     error_type: str | None = None
     #: wall-clock seconds the case took inside its worker.
     elapsed_s: float = field(default=0.0, compare=False)
+    #: in-place retries this case consumed before settling (transient
+    #: crash/timeout recovery; excluded from equality because whether a
+    #: retry was *needed* is machine-local noise -- the settled value is
+    #: deterministic either way).
+    retries: int = field(default=0, compare=False)
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def transient(self) -> bool:
+        """True when the failure is a candidate for an in-place retry.
+
+        Worker deaths and wall-clock timeouts are environment incidents
+        (an OOM kill, a loaded host), not properties of the case: the
+        hash-derived per-case seed makes a re-run of the same payload
+        deterministic, so retrying is safe and, on success, yields the
+        exact outcome an undisturbed run would have produced.
+        """
+        return self.error_type in ("WorkerCrash", "CaseTimeout")
 
 
 def _alarm_handler(signum, frame):  # pragma: no cover - signal context
@@ -201,6 +218,8 @@ def run_many(
     timeout_s: float | None = None,
     chunksize: int | None = None,
     progress: Callable[[CaseOutcome], None] | None = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
 ) -> list[CaseOutcome]:
     """Run ``fn(payload)`` for every payload; outcomes in payload order.
 
@@ -218,6 +237,16 @@ def run_many(
             ``ceil(len(payloads) / (4 * workers))``.
         progress: called with each :class:`CaseOutcome` as it is
             *collected* (always in index order).
+        retries: in-place retry passes for *transient* failures
+            (``WorkerCrash`` / ``CaseTimeout``).  Each pass re-runs the
+            surviving transient cases in a fresh pool with the exact
+            same payload (hence the same derived seed), with
+            exponential backoff between passes, so a one-off OOM kill
+            or a loaded host does not poison a long soak.  A case that
+            still fails after every pass keeps its failure, with
+            :attr:`CaseOutcome.retries` recording the attempts spent.
+        retry_backoff_s: base sleep before the first retry pass; pass
+            ``k`` sleeps ``retry_backoff_s * 2**(k-1)``, capped at 30s.
 
     Returns:
         One :class:`CaseOutcome` per payload, index-aligned.  A case
@@ -240,10 +269,60 @@ def run_many(
         chunks = [cases[i:i + size] for i in range(0, len(cases), size)]
         outcomes = _dispatch(fn, chunks, worker_count, timeout_s)
     outcomes.sort(key=lambda outcome: outcome.index)
+    if retries > 0:
+        outcomes = _retry_transients(
+            fn, dict(cases), outcomes, worker_count, timeout_s,
+            retries, retry_backoff_s,
+        )
     if progress is not None:
         for outcome in outcomes:
             progress(outcome)
     return outcomes
+
+
+def _retry_transients(
+    fn: Callable[[Any], Any],
+    payloads: dict[int, Any],
+    outcomes: list[CaseOutcome],
+    workers: int,
+    timeout_s: float | None,
+    retries: int,
+    retry_backoff_s: float,
+) -> list[CaseOutcome]:
+    """Re-run transient failures in place; outcomes stay index-aligned.
+
+    Only ``WorkerCrash`` / ``CaseTimeout`` outcomes are retried --
+    ordinary exceptions are deterministic properties of the case and
+    would fail identically.  Each pass dispatches the survivors as
+    single-case chunks in a fresh pool (serial when ``workers == 1``),
+    so one poisonous case cannot take healthy retries down with it.
+    """
+    from dataclasses import replace
+
+    by_index = {outcome.index: outcome for outcome in outcomes}
+    for attempt in range(1, retries + 1):
+        pending = sorted(
+            index for index, outcome in by_index.items()
+            if outcome.transient
+        )
+        if not pending:
+            break
+        if retry_backoff_s > 0:
+            time.sleep(min(retry_backoff_s * 2 ** (attempt - 1), 30.0))
+        if workers == 1:
+            fresh = [
+                _run_one(fn, index, payloads[index], timeout_s)
+                for index in pending
+            ]
+        else:
+            chunks = [[(index, payloads[index])] for index in pending]
+            fresh = _dispatch(fn, chunks, workers, timeout_s)
+        for outcome in fresh:
+            previous = by_index[outcome.index]
+            by_index[outcome.index] = replace(
+                outcome, retries=previous.retries + 1
+            )
+    return [by_index[index] for index in sorted(by_index)]
 
 
 def _pool_pass(

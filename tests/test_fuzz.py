@@ -14,7 +14,10 @@ from repro.core.bitstrings import BitString
 from repro.core.find_prefix import find_prefix
 from repro.sim.fuzz import (
     ARTIFACT_FORMAT,
+    ARTIFACT_SCHEMA_VERSION,
+    NETWORK_COUNTERS,
     FuzzCase,
+    FuzzReport,
     ProtocolSpec,
     case_inputs,
     decode_payload,
@@ -22,9 +25,11 @@ from repro.sim.fuzz import (
     fuzz,
     load_artifact,
     replay_artifact,
+    replay_counters,
     run_case,
     sample_case,
     standard_registry,
+    validate_artifact,
 )
 from repro.sim.invariants import paper_bit_budget, paper_round_budget
 
@@ -256,6 +261,142 @@ class TestArtifacts:
         # default registry does not know weak_flca -> graceful exit 2.
         assert main(["replay", report.artifacts[0]]) == 2
         assert "not in the standard registry" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# artifact schema versioning + recorded counters (satellites)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def canary_artifact(tmp_path_factory):
+    """One archived canary failure, shared by the schema/counter tests."""
+    registry = canary_registry()
+    report = fuzz(
+        runs=12, seed=1, registry=registry,
+        artifact_dir=str(tmp_path_factory.mktemp("artifacts")),
+    )
+    assert report.artifacts
+    return report.artifacts[0], registry
+
+
+def rewrite(tmp_path, artifact, name="edited.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(artifact))
+    return str(path)
+
+
+class TestSchemaVersion:
+    def test_artifacts_are_stamped(self, canary_artifact):
+        path, _ = canary_artifact
+        artifact = json.loads(open(path).read())
+        assert artifact["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert validate_artifact(artifact) == []
+
+    def test_pre_versioned_artifact_fails_loudly(
+        self, canary_artifact, tmp_path
+    ):
+        """Corpus files from before the stamp replay with silently
+        defaulted fault axes; loading them must be an error, not a
+        guess."""
+        path, _ = canary_artifact
+        artifact = json.loads(open(path).read())
+        del artifact["schema_version"]
+        with pytest.raises(ValueError, match="re-generate"):
+            load_artifact(rewrite(tmp_path, artifact))
+
+    def test_future_schema_rejected(self, canary_artifact, tmp_path):
+        path, _ = canary_artifact
+        artifact = json.loads(open(path).read())
+        artifact["schema_version"] = ARTIFACT_SCHEMA_VERSION + 7
+        with pytest.raises(ValueError, match="schema_version"):
+            load_artifact(rewrite(tmp_path, artifact))
+
+    def test_unknown_keys_warn_but_load(self, canary_artifact, tmp_path):
+        path, _ = canary_artifact
+        artifact = json.loads(open(path).read())
+        artifact["x_note"] = "annotated by a newer writer"
+        artifact["case"]["x_extra"] = 1
+        artifact["case"]["faults"]["x_axis"] = 0.5
+        edited = rewrite(tmp_path, artifact)
+        with pytest.warns(UserWarning, match="unknown"):
+            loaded = load_artifact(edited)
+        assert loaded["x_note"] == "annotated by a newer writer"
+        with pytest.warns(UserWarning):
+            messages = validate_artifact(loaded)
+        assert len(messages) == 3  # artifact, case, and faults sections
+
+    def test_cli_replay_surfaces_warnings(
+        self, canary_artifact, tmp_path, monkeypatch, capsys
+    ):
+        path, registry = canary_artifact
+        artifact = json.loads(open(path).read())
+        artifact["x_note"] = "???"
+        edited = rewrite(tmp_path, artifact)
+        monkeypatch.setattr(
+            "repro.sim.fuzz.standard_registry", lambda: registry
+        )
+        assert main(["replay", edited]) == 0
+        out = capsys.readouterr().out
+        assert "warning" in out and "x_note" in out
+
+
+class TestRecordedCounters:
+    def test_artifact_embeds_deterministic_counters(self, canary_artifact):
+        path, registry = canary_artifact
+        artifact = json.loads(open(path).read())
+        block = artifact["counters"]
+        # only counters the replay actually touched appear; the network
+        # pair is unconditional for any protocol that ran.
+        assert "net_rounds" in NETWORK_COUNTERS
+        assert block["net_rounds"] > 0
+        assert block["net_messages"] > 0
+        # the recorded block is exactly one fresh replay's block:
+        assert replay_counters(artifact, registry) == block
+        assert replay_counters(artifact, registry) == block  # and stable
+
+    def test_cli_verify_counters_reproduces(
+        self, canary_artifact, monkeypatch, capsys
+    ):
+        path, registry = canary_artifact
+        monkeypatch.setattr(
+            "repro.sim.fuzz.standard_registry", lambda: registry
+        )
+        assert main(["replay", path, "--verify-counters"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+        assert "verified" in out
+
+    def test_cli_verify_counters_detects_drift(
+        self, canary_artifact, tmp_path, monkeypatch, capsys
+    ):
+        path, registry = canary_artifact
+        artifact = json.loads(open(path).read())
+        artifact["counters"]["net_messages"] += 5
+        edited = rewrite(tmp_path, artifact)
+        monkeypatch.setattr(
+            "repro.sim.fuzz.standard_registry", lambda: registry
+        )
+        assert main(["replay", edited, "--verify-counters"]) == 1
+        out = capsys.readouterr().out
+        assert "net_messages" in out
+
+    def test_cli_verify_counters_requires_recorded_block(
+        self, canary_artifact, tmp_path, monkeypatch, capsys
+    ):
+        path, registry = canary_artifact
+        artifact = json.loads(open(path).read())
+        del artifact["counters"]
+        edited = rewrite(tmp_path, artifact)
+        monkeypatch.setattr(
+            "repro.sim.fuzz.standard_registry", lambda: registry
+        )
+        assert main(["replay", edited, "--verify-counters"]) == 2
+        assert "none recorded" in capsys.readouterr().out
+
+    def test_campaign_summary_surfaces_retries(self):
+        report = FuzzReport(runs=4, seed=0, retries=2)
+        assert "2 retried case(s)" in report.summary()
 
 
 # ---------------------------------------------------------------------------

@@ -291,3 +291,69 @@ class TestGracefulDegradation:
         assert error.trace is not None and len(error.trace) == 5
         assert error.stats is not None and error.stats.rounds == 5
         assert error.outputs == {}
+
+
+# ---------------------------------------------------------------------------
+# envelope margins: the search engine's fitness signal (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestEnvelopeMargins:
+    def test_arithmetic_and_outlier_predicates(self):
+        from repro.sim.invariants import EnvelopeMargins
+
+        inside = EnvelopeMargins(
+            bits_used=600, bit_budget=1000, rounds_used=5, round_budget=20
+        )
+        assert inside.bit_margin == 400
+        assert inside.round_margin == 15
+        assert inside.bit_fraction == pytest.approx(0.6)
+        assert inside.round_fraction == pytest.approx(0.25)
+        assert inside.nonnegative
+
+        outlier = EnvelopeMargins(
+            bits_used=1200, bit_budget=1000, rounds_used=5, round_budget=20
+        )
+        assert outlier.bit_margin == -200
+        assert outlier.bit_fraction > 1.0
+        assert not outlier.nonnegative
+
+        degenerate = EnvelopeMargins(
+            bits_used=0, bit_budget=0, rounds_used=0, round_budget=0
+        )
+        assert degenerate.bit_fraction == 0.0
+        assert degenerate.nonnegative
+
+    def test_registry_grid_stays_inside_envelopes(self):
+        """Every registry protocol, on a small (n, t) x ell grid under a
+        passive adversary: both margins non-negative (the budgets are
+        sound), and the slack is monotone non-decreasing in ell (the
+        envelopes grow at least as fast as the protocols' true cost --
+        the property that makes margin *pressure* a useful search
+        signal).  Weak monotonicity because ``ell_for`` clamps small
+        ells for the block-family protocols."""
+        from repro.sim.faults import FaultSpec
+        from repro.sim.fuzz import FuzzCase, run_case_ex, standard_registry
+
+        registry = standard_registry()
+        for name in sorted(registry):
+            spec = registry[name]
+            for n, t in ((4, 1), (7, 2)):
+                bit_margins, round_margins = [], []
+                for ell in (16, 64, 256):
+                    case = FuzzCase(
+                        protocol=name, n=n, t=t,
+                        ell=spec.ell_for(n, ell), kappa=KAPPA, spread=8,
+                        adversaries=("passive",), faults=FaultSpec(),
+                        seed=11,
+                    )
+                    failure, stats = run_case_ex(case, registry)
+                    assert failure is None, (name, n, t, ell, failure.kind)
+                    margins = stats.margins()
+                    assert margins.nonnegative, (name, n, t, ell)
+                    assert 0.0 < margins.bit_fraction < 1.0
+                    bit_margins.append(margins.bit_margin)
+                    round_margins.append(margins.round_margin)
+                label = (name, n, t)
+                assert bit_margins == sorted(bit_margins), label
+                assert round_margins == sorted(round_margins), label

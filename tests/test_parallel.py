@@ -58,6 +58,15 @@ def die_on_negative(x: int) -> int:
     return x
 
 
+def sleep_until_flagged(payload: tuple[str, int]) -> int:
+    """Times out on the first attempt, returns promptly on the retry."""
+    flag, value = payload
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        time.sleep(5.0)
+    return value * 10
+
+
 # ---------------------------------------------------------------------------
 # seed derivation
 # ---------------------------------------------------------------------------
@@ -194,6 +203,59 @@ class TestRunMany:
         a = CaseOutcome(index=0, value=1, elapsed_s=0.5)
         b = CaseOutcome(index=0, value=1, elapsed_s=123.0)
         assert a == b
+
+    def test_retry_count_excluded_from_equality(self):
+        """Whether a retry was *needed* is machine-local noise; the
+        settled outcome is what the determinism contract compares."""
+        a = CaseOutcome(index=0, value=1, retries=0)
+        b = CaseOutcome(index=0, value=1, retries=1)
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# transient-failure retries (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestRetries:
+    def test_transient_timeout_recovers_in_place(self, tmp_path):
+        """A one-off timeout (loaded host) is retried with the same
+        payload -- hence the same derived seed -- and the settled
+        outcome is the one an undisturbed run would have produced."""
+        flag = str(tmp_path / "flag")
+        outcomes = run_many(
+            sleep_until_flagged, [(flag, 3)], workers=1,
+            timeout_s=0.3, retries=1, retry_backoff_s=0.0,
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].value == 30
+        assert outcomes[0].retries == 1
+
+    def test_worker_crash_retry_exhausted_keeps_failure(self):
+        """A case that reliably kills its worker stays a WorkerCrash
+        after the retry budget, with the attempts spent on record."""
+        outcomes = run_many(
+            die_on_negative, [1, -1], workers=2, chunksize=1,
+            retries=2, retry_backoff_s=0.0,
+        )
+        assert outcomes[0].ok and outcomes[0].retries == 0
+        crash = outcomes[1]
+        assert not crash.ok
+        assert crash.error_type == "WorkerCrash"
+        assert crash.retries == 2
+
+    def test_deterministic_errors_are_not_retried(self):
+        """Ordinary exceptions are properties of the case, not the
+        environment: retrying them would waste the budget failing
+        identically."""
+        outcomes = run_many(
+            fail_on_odd, [1, 2], workers=1, retries=3,
+            retry_backoff_s=0.0,
+        )
+        assert not outcomes[0].ok
+        assert outcomes[0].error_type == "ValueError"
+        assert outcomes[0].retries == 0
+        assert outcomes[1].ok and outcomes[1].retries == 0
 
 
 # ---------------------------------------------------------------------------
