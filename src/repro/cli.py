@@ -178,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "never-healing partitions, link churn -- "
                            "executed through the supervisor's "
                            "escalation ladder")
+    fuzz.add_argument("--bombs", action="store_true",
+                      help="also sample the payload-bomb adversaries "
+                           "(oversize blobs, deep nesting, type "
+                           "confusion, near-valid mutants) with the "
+                           "honest wire guards armed; an honest-party "
+                           "crash on hostile input is a shrinkable "
+                           "HonestPartyError failure")
     fuzz.add_argument("--allow-budgeted", action="store_true",
                       help="exit 0 when every failure is a budgeted "
                            "escalation-ladder exhaustion (still shrunk "
@@ -231,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--partition", action="store_true",
                         help="include the partial-synchrony axes (GST, "
                              "partitions, churn)")
+    search.add_argument("--bombs", action="store_true",
+                        help="include the payload-bomb adversaries in "
+                             "sampling and mutation (honest wire guards "
+                             "armed on bomb cases)")
     search.add_argument("--corpus-size", type=int, default=64,
                         help="novelty corpus capacity")
     search.add_argument("--seed-corpus", default=None,
@@ -458,6 +469,7 @@ def _cmd_fuzz(args) -> int:
             case_timeout_s=args.case_timeout,
             crash=args.crash,
             partition=args.partition,
+            bombs=args.bombs,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -492,7 +504,12 @@ def _cmd_replay(args) -> int:
         print(f"error: no such artifact: {args.artifact}", file=sys.stderr)
         return 2
     except (ValueError, json.JSONDecodeError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        # truncated/corrupt JSON and stale-schema artifacts both land
+        # here: path + reason, exit 2, no traceback.
+        print(
+            f"error: cannot load artifact {args.artifact}: {error}",
+            file=sys.stderr,
+        )
         return 2
     for warning in caught:
         print(f"warning  : {warning.message}")
@@ -574,6 +591,7 @@ def _cmd_search(args) -> int:
         protocols=args.protocols,
         crash=not args.no_crash_plane,
         partition=args.partition,
+        bombs=args.bombs,
         corpus_size=args.corpus_size,
         seed_corpus=seeds,
         workers=args.workers,

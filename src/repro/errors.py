@@ -76,5 +76,42 @@ class ProtocolViolation(ReproError):
         self.trace = trace
 
 
+class HonestPartyError(ReproError):
+    """An honest party's protocol code raised on its inbox.
+
+    The paper's model forbids byzantine input from crashing honest
+    parties: honest code must validate-and-discard, never raise.  The
+    simulator therefore wraps any exception escaping an honest party's
+    generator in this error, attributing it to the party, the round,
+    and a bounded digest of the offending inbox -- so fuzz reports can
+    distinguish a genuine input-validation bug (this error) from
+    harness bugs, invariant violations, and budget exhaustion.
+
+    Deliberately a *direct* :class:`ReproError` subclass: the
+    degradation supervisor catches only ``(ProtocolViolation,
+    SimulationError)``, so a crashed honest party is never silently
+    "healed" by falling back to another protocol.
+
+    Attributes:
+        party: id of the honest party whose code raised.
+        round_index: lockstep round in which the generator was resumed.
+        inbox_digest: bounded, ``repr``-free digest of the inbox the
+            party was consuming (``None`` when unavailable).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        party: int,
+        round_index: int,
+        inbox_digest: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.party = party
+        self.round_index = round_index
+        self.inbox_digest = inbox_digest
+
+
 class CodingError(ReproError):
     """Reed-Solomon encoding/decoding failed (bad share set, bad framing)."""

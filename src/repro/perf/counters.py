@@ -27,6 +27,13 @@ counter               bumped by
                       budget that was retried instead of timing out)
 ``transport_beacons`` resync beacon frames exchanged during those
                       escalations
+``guard_checks``      byzantine-origin payloads the wire guards
+                      inspected (:mod:`repro.sim.wire`); honest traffic
+                      is never checked, so the no-fault path bumps
+                      nothing
+``guard_quarantined`` payloads the guards discarded (ill-typed,
+                      over-deep, oversized, or over a sender's
+                      per-round byte ceiling)
 ===================== ====================================================
 
 Counters are process-global (observability, not protocol state) and

@@ -20,6 +20,10 @@ down to asynchronous Approximate Agreement.  On top of the chaos plane
 sits the adversary-search engine (:mod:`repro.sim.search`): a
 coverage-guided bandit optimizer over the composed fault space, with
 crash-safe resumable campaign manifests (:mod:`repro.sim.manifest`).
+Hostile-payload hardening rounds the plane out: typed wire limits with
+deterministic quarantine of ill-formed byzantine traffic
+(:mod:`repro.sim.wire`) and a payload-bomb adversary family that
+attacks them (:mod:`repro.sim.bombs`).
 """
 
 from .adversary import (
@@ -38,6 +42,14 @@ from .adversary import (
     SplitVoteAdversary,
     WitnessSuppressionAdversary,
     standard_adversary_suite,
+)
+from .bombs import (
+    BOMB_CATALOG,
+    DeepNestAdversary,
+    NearValidMutantAdversary,
+    OversizeBlobAdversary,
+    TypeConfusionAdversary,
+    deep_nest,
 )
 from .faults import (
     ComposedAdversary,
@@ -92,6 +104,7 @@ from .party import Context, Outgoing, Proto, broadcast_round, exchange
 from .runner import run_protocol
 from .trace import RoundRecord, summarize_trace
 from .sizing import bit_size
+from .wire import WireGuard, WireLimits, inbox_digest, measure_payload
 
 __all__ = [
     "ACK_BITS",
@@ -100,6 +113,7 @@ __all__ = [
     "AdaptiveCorruptionAdversary",
     "Adversary",
     "AgreementMonitor",
+    "BOMB_CATALOG",
     "BitBudgetMonitor",
     "CampaignJournal",
     "CommunicationStats",
@@ -110,6 +124,7 @@ __all__ = [
     "CrashBudgetMonitor",
     "CrashEvent",
     "CrashRestartAdversary",
+    "DeepNestAdversary",
     "FallbackRecord",
     "LivenessMonitor",
     "LossyTransport",
@@ -127,8 +142,10 @@ __all__ = [
     "JournalCorrupt",
     "KingTargetingAdversary",
     "LockstepMonitor",
+    "NearValidMutantAdversary",
     "Outgoing",
     "OutlierAdversary",
+    "OversizeBlobAdversary",
     "PassiveAdversary",
     "PrefixPoisonAdversary",
     "Proto",
@@ -146,14 +163,20 @@ __all__ = [
     "RoundRecord",
     "SynchronousNetwork",
     "TimeoutEscalation",
+    "TypeConfusionAdversary",
+    "WireGuard",
+    "WireLimits",
     "WitnessSuppressionAdversary",
     "CaseOutcome",
     "bit_size",
     "broadcast_round",
+    "deep_nest",
     "default_monitors",
     "default_round_budget",
     "derive_seed",
     "exchange",
+    "inbox_digest",
+    "measure_payload",
     "resolve_workers",
     "run_many",
     "paper_bit_budget",

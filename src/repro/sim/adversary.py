@@ -179,11 +179,28 @@ class CrashAdversary(Adversary):
         return f"CrashAdversary(round>={self.crash_round})"
 
 
+def _deep_garbage(rng: random.Random) -> Any:
+    """A 1-tuple chain nested past any honest schema (built iteratively)."""
+    value: Any = rng.getrandbits(8)
+    for _ in range(40 + rng.randrange(64)):
+        value = (value,)
+    return value
+
+
 class RandomGarbageAdversary(Adversary):
     """Sends structurally random payloads to every party every round.
 
     Exercises the honest parties' input validation: nothing an honest party
     does may crash or mis-account because of malformed byzantine bytes.
+
+    Two seed-stable profiles select the payload generators:
+
+    * ``"classic"`` (default) -- the original small, well-shaped makers.
+      The maker tuple and its length are frozen: ``rng.choice`` consumes
+      a length-dependent number of RNG draws, so any change here would
+      silently reseed every pinned-seed test and campaign.
+    * ``"bomb"`` -- the classic makers plus large blobs (1-128 KiB) and
+      deep 1-tuple nests, for executions armed with wire guards.
     """
 
     _GARBAGE_MAKERS: tuple[Callable[[random.Random], Any], ...] = (
@@ -198,13 +215,39 @@ class RandomGarbageAdversary(Adversary):
         lambda rng: {"k": rng.getrandbits(4)},
     )
 
+    _BOMB_MAKERS: tuple[Callable[[random.Random], Any], ...] = (
+        _GARBAGE_MAKERS
+        + (
+            lambda rng: bytes([rng.getrandbits(8)])
+            * (1 << (10 + rng.randrange(8))),
+            _deep_garbage,
+        )
+    )
+
+    _PROFILES = {"classic": "_GARBAGE_MAKERS", "bomb": "_BOMB_MAKERS"}
+
+    def __init__(self, seed: int = 0, profile: str = "classic") -> None:
+        super().__init__(seed)
+        if profile not in self._PROFILES:
+            raise ValueError(
+                f"unknown garbage profile {profile!r}, "
+                f"expected one of {sorted(self._PROFILES)}"
+            )
+        self.profile = profile
+        self._makers = getattr(self, self._PROFILES[profile])
+
     def deliver(self, view: RoundView) -> dict[tuple[int, int], Any]:
         out: dict[tuple[int, int], Any] = {}
         for src in view.corrupted:
             for dst in range(view.n):
-                maker = self.rng.choice(self._GARBAGE_MAKERS)
+                maker = self.rng.choice(self._makers)
                 out[(src, dst)] = maker(self.rng)
         return out
+
+    def describe(self) -> str:
+        if self.profile == "classic":
+            return "RandomGarbageAdversary"
+        return f"RandomGarbageAdversary(profile={self.profile})"
 
 
 class EquivocatingAdversary(Adversary):

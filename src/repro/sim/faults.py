@@ -51,8 +51,17 @@ __all__ = [
 ]
 
 
-def _garble(payload: Any, rng: random.Random) -> Any:
-    """Structurally mutate a payload (stays within wire-sizable types)."""
+def _garble(payload: Any, rng: random.Random, depth: int = 0) -> Any:
+    """Structurally mutate a payload (stays within wire-sizable types).
+
+    Recursion is capped: honest-shaped payloads nest a handful of
+    levels, so the cap never fires on them (and the RNG stream of every
+    pinned-seed campaign is untouched), but a payload-bomb nest fed
+    through the garble fault degrades to junk bytes instead of blowing
+    the stack.
+    """
+    if depth >= 8:
+        return bytes([rng.getrandbits(8) for _ in range(4)])
     if isinstance(payload, bool):
         return not payload
     if isinstance(payload, int):
@@ -75,12 +84,15 @@ def _garble(payload: Any, rng: random.Random) -> Any:
             return (0,)
         items = list(payload)
         index = rng.randrange(len(items))
-        items[index] = _garble(items[index], rng)
+        items[index] = _garble(items[index], rng, depth + 1)
         return tuple(items)
     if isinstance(payload, list):
-        return [_garble(item, rng) for item in payload]
+        return [_garble(item, rng, depth + 1) for item in payload]
     if isinstance(payload, dict):
-        return {key: _garble(value, rng) for key, value in payload.items()}
+        return {
+            key: _garble(value, rng, depth + 1)
+            for key, value in payload.items()
+        }
     if payload is None:
         return rng.getrandbits(8)
     # unknown structured object (BitString, witnesses, ...): replace with

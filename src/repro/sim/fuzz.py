@@ -45,7 +45,7 @@ from ..perf import counters as perf_counters
 from ..perf.config import reset_process_caches
 
 from ..core.bitstrings import BitString
-from ..errors import ProtocolViolation, SimulationError
+from ..errors import HonestPartyError, ProtocolViolation, SimulationError
 from .adversary import (
     Adversary,
     CrashAdversary,
@@ -58,6 +58,7 @@ from .adversary import (
     SplitVoteAdversary,
     WitnessSuppressionAdversary,
 )
+from .bombs import BOMB_CATALOG
 from .faults import ComposedAdversary, FaultSpec, RecordingAdversary, \
     ReplayAdversary
 from .lossy import LossyTransport
@@ -75,6 +76,7 @@ from .invariants import (
 from .network import ProtocolFactory, SynchronousNetwork
 from .parallel import derive_seed, resolve_workers, run_many
 from .supervisor import run_with_escalation
+from .wire import WireLimits
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -110,8 +112,10 @@ ARTIFACT_FORMAT = "repro-fuzz/1"
 #: corpus files written by an older (or newer) toolchain fail loudly on
 #: load instead of replaying with silently-defaulted fault axes.
 #: History: 1 = implicit (pre-versioned artifacts, PR 1-7); 2 = adds the
-#: ``schema_version`` stamp itself and the optional ``counters`` block.
-ARTIFACT_SCHEMA_VERSION = 2
+#: ``schema_version`` stamp itself and the optional ``counters`` block;
+#: 3 = adds ``FuzzCase.guards`` (the hostile-payload wire-guard plane)
+#: and the ``float``/``set`` payload tags the bomb adversaries need.
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Deterministic counters that are independent of process-level cache
 #: state: safe to record per-case without a cache reset, and therefore
@@ -121,6 +125,8 @@ NETWORK_COUNTERS = (
     "net_messages",
     "transport_resyncs",
     "transport_beacons",
+    "guard_checks",
+    "guard_quarantined",
 )
 
 
@@ -137,6 +143,9 @@ def encode_payload(payload: Any) -> Any:
         return {"t": "bool", "v": payload}
     if isinstance(payload, int):
         return {"t": "int", "v": str(payload)}
+    if isinstance(payload, float):
+        # repr round-trips every finite float (and inf/nan) exactly.
+        return {"t": "float", "v": repr(payload)}
     if isinstance(payload, (bytes, bytearray)):
         return {"t": "bytes", "v": bytes(payload).hex()}
     if isinstance(payload, str):
@@ -150,6 +159,9 @@ def encode_payload(payload: Any) -> Any:
     if isinstance(payload, frozenset):
         encoded = [encode_payload(x) for x in payload]
         return {"t": "fset", "v": sorted(encoded, key=json.dumps)}
+    if isinstance(payload, set):
+        encoded = [encode_payload(x) for x in payload]
+        return {"t": "set", "v": sorted(encoded, key=json.dumps)}
     if isinstance(payload, dict):
         return {
             "t": "dict",
@@ -170,6 +182,8 @@ def decode_payload(data: Any) -> Any:
         return bool(data["v"])
     if tag == "int":
         return int(data["v"])
+    if tag == "float":
+        return float(data["v"])
     if tag == "bytes":
         return bytes.fromhex(data["v"])
     if tag == "str":
@@ -182,6 +196,8 @@ def decode_payload(data: Any) -> Any:
         return [decode_payload(x) for x in data["v"]]
     if tag == "fset":
         return frozenset(decode_payload(x) for x in data["v"])
+    if tag == "set":
+        return {decode_payload(x) for x in data["v"]}
     if tag == "dict":
         return {decode_payload(k): decode_payload(v) for k, v in data["v"]}
     raise ValueError(f"unknown payload tag {tag!r}")
@@ -322,13 +338,18 @@ class FuzzCase:
     adversaries: tuple[str, ...]
     faults: FaultSpec
     seed: int
+    #: honest parties run the wire guards (quarantining hostile traffic)
+    #: -- set on every bomb-plane case, off elsewhere so pre-existing
+    #: campaigns replay byte-identically.
+    guards: bool = False
 
     def describe(self) -> str:
         adv = "+".join(self.adversaries)
+        guard_tag = " [guards]" if self.guards else ""
         return (
             f"{self.protocol}(n={self.n}, t={self.t}, ell={self.ell}, "
             f"{self.spread}) vs {adv} % {self.faults.describe()} "
-            f"seed={self.seed}"
+            f"seed={self.seed}{guard_tag}"
         )
 
     def to_dict(self) -> dict:
@@ -342,6 +363,7 @@ class FuzzCase:
             "adversaries": list(self.adversaries),
             "faults": self.faults.to_dict(),
             "seed": self.seed,
+            "guards": self.guards,
         }
 
     @classmethod
@@ -356,6 +378,7 @@ class FuzzCase:
             adversaries=tuple(data["adversaries"]),
             faults=FaultSpec.from_dict(data["faults"]),
             seed=data["seed"],
+            guards=data.get("guards", False),
         )
 
 
@@ -449,6 +472,7 @@ def sample_case(
     registry: dict[str, ProtocolSpec],
     crash: bool = False,
     partition: bool = False,
+    bombs: bool = False,
 ) -> FuzzCase:
     """Draw one chaos configuration from the campaign distribution.
 
@@ -462,6 +486,12 @@ def sample_case(
     draw is gated on its flag and appended *after* the existing draws,
     so ``crash=False`` / ``partition=False`` campaigns sample exactly
     the same cases as before each plane existed.
+
+    ``bombs=True`` appends one or two payload-bomb adversaries (drawn
+    from the separate :data:`~repro.sim.bombs.BOMB_CATALOG`) to the
+    composition and arms the honest wire guards (``guards=True``).  The
+    bomb draws come *after* every pre-existing draw -- including the
+    case seed -- so ``bombs=False`` campaigns are untouched.
     """
     name = rng.choice(sorted(registry))
     spec = registry[name]
@@ -473,16 +503,26 @@ def sample_case(
         rng.choice(sorted(ADVERSARY_CATALOG)) for _ in range(count)
     )
     faults = sample_faults(rng, n, t, crash=crash, partition=partition)
+    spread = rng.choice(_SPREADS)
+    case_seed = rng.getrandbits(32)
+    guards = False
+    if bombs:
+        guards = True
+        extra = rng.randint(1, 2)
+        adversaries = adversaries + tuple(
+            rng.choice(sorted(BOMB_CATALOG)) for _ in range(extra)
+        )
     return FuzzCase(
         protocol=name,
         n=n,
         t=t,
         ell=ell,
         kappa=64,
-        spread=rng.choice(_SPREADS),
+        spread=spread,
         adversaries=adversaries,
         faults=faults,
-        seed=rng.getrandbits(32),
+        seed=case_seed,
+        guards=guards,
     )
 
 
@@ -492,6 +532,7 @@ def sample_case_at(
     registry: dict[str, ProtocolSpec],
     crash: bool = False,
     partition: bool = False,
+    bombs: bool = False,
 ) -> FuzzCase:
     """Case ``index`` of the campaign with seed ``campaign_seed``.
 
@@ -502,7 +543,9 @@ def sample_case_at(
     campaigns replicate serial ones exactly.
     """
     rng = random.Random(derive_seed(campaign_seed, index))
-    return sample_case(rng, registry, crash=crash, partition=partition)
+    return sample_case(
+        rng, registry, crash=crash, partition=partition, bombs=bombs
+    )
 
 
 def case_inputs(case: FuzzCase) -> list[int]:
@@ -569,8 +612,11 @@ def _max_concurrent_crashes(
 
 
 def _build_adversary(case: FuzzCase) -> RecordingAdversary:
+    # bomb names resolve against the union; keeping the catalogs
+    # separate preserves the base catalog's sorted-key sampling order.
+    catalog = {**ADVERSARY_CATALOG, **BOMB_CATALOG}
     parts = [
-        ADVERSARY_CATALOG[name](case.seed + index)
+        catalog[name](case.seed + index)
         for index, name in enumerate(case.adversaries)
     ]
     composed = ComposedAdversary(
@@ -639,6 +685,8 @@ class FuzzReport:
     crash: bool = False
     #: the campaign sampled the partial-synchrony axes too.
     partition: bool = False
+    #: the campaign sampled the payload-bomb adversaries (guards armed).
+    bombs: bool = False
     #: execution-engine incidents: cases whose worker process died, and
     #: cases that exceeded the per-case time budget.  Both also appear
     #: as ``ExecutionEngine`` failures; the counts make the engine's
@@ -668,9 +716,11 @@ class FuzzReport:
     def summary(self) -> str:
         crash_tag = ", crash plane" if self.crash else ""
         partition_tag = ", partition plane" if self.partition else ""
+        bomb_tag = ", bomb plane" if self.bombs else ""
         lines = [
             f"fuzz campaign: {self.runs} runs, seed {self.seed}"
-            f"{crash_tag}{partition_tag}, {len(self.failures)} failure(s)"
+            f"{crash_tag}{partition_tag}{bomb_tag}, "
+            f"{len(self.failures)} failure(s)"
         ]
         if self.worker_crashes or self.case_timeouts or self.retries:
             lines.append(
@@ -775,6 +825,11 @@ def _execute(
     transport = LossyTransport.from_spec(case.faults)
     round_budget = spec.round_budget(case.n, case.t, case.ell)
     monitors = case_monitors(case, spec)
+    guard_limits = (
+        WireLimits.from_envelopes(case.n, case.t, case.ell, case.kappa)
+        if case.guards
+        else None
+    )
     # leave headroom above the monitor so RoundBudgetMonitor fires
     # with a record attached before the hard simulator cap.
     max_rounds = 2 * round_budget + 64
@@ -793,6 +848,7 @@ def _execute(
             transport=transport,
             epsilon=_case_epsilon(case),
             escalate_on=(SimulationError,),
+            guards=guard_limits,
         )
         _check_escalated(case, inputs, result)
         return result
@@ -809,6 +865,7 @@ def _execute(
         # link faults ride below the round abstraction; None on specs
         # without link axes, so non-crash campaigns are untouched.
         transport=transport,
+        guards=guard_limits,
     )
     return network.run()
 
@@ -888,6 +945,21 @@ def run_case_ex(
     with perf_counters.capture() as captured:
         try:
             result = _execute(case, spec, inputs, adversary)
+        except HonestPartyError as error:
+            # the no-crash meta-invariant: byzantine input must never
+            # crash honest protocol code.  A first-class failure kind,
+            # shrinkable like any monitor violation and never budgeted.
+            return FuzzFailure(
+                case=case,
+                kind="HonestPartyError",
+                message=str(error),
+                inputs=inputs,
+                initial_corruptions=set(adversary.initial_corruptions),
+                script=dict(adversary.script),
+                adapt_schedule=list(adversary.adapt_schedule),
+                crash_schedule=list(adversary.crash_schedule),
+                original_script_size=len(adversary.script),
+            ), stats
         except ProtocolViolation as violation:
             return FuzzFailure(
                 case=case,
@@ -970,6 +1042,8 @@ def _replays_same(
             failure.inputs,
             adversary,
         )
+    except HonestPartyError:
+        return failure.kind == "HonestPartyError"
     except ProtocolViolation as violation:
         return (violation.monitor or "ProtocolViolation") == failure.kind
     except SimulationError:
@@ -1267,6 +1341,8 @@ def replay_artifact(
     )
     try:
         _execute(case, spec, inputs, adversary)
+    except HonestPartyError as error:
+        return ReplayOutcome(kind="HonestPartyError", message=str(error))
     except ProtocolViolation as violation:
         return ReplayOutcome(
             kind=violation.monitor or "ProtocolViolation",
@@ -1321,10 +1397,12 @@ def _run_campaign_case(
     max_shrink_runs: int,
     crash: bool = False,
     partition: bool = False,
+    bombs: bool = False,
 ) -> tuple[FuzzFailure | None, CaseStats]:
     """Sample, execute, and (on failure) shrink one campaign case."""
     case = sample_case_at(
-        campaign_seed, index, registry, crash=crash, partition=partition
+        campaign_seed, index, registry, crash=crash, partition=partition,
+        bombs=bombs,
     )
     failure, stats = run_case_ex(case, registry)
     if failure is not None and shrink:
@@ -1350,6 +1428,7 @@ def _campaign_worker(task: dict) -> tuple[FuzzFailure | None, CaseStats]:
         task["max_shrink_runs"],
         crash=task.get("crash", False),
         partition=task.get("partition", False),
+        bombs=task.get("bombs", False),
     )
 
 
@@ -1367,6 +1446,7 @@ def fuzz(
     case_timeout_s: float | None = None,
     crash: bool = False,
     partition: bool = False,
+    bombs: bool = False,
 ) -> FuzzReport:
     """Run a chaos campaign of ``runs`` sampled configurations.
 
@@ -1381,6 +1461,12 @@ def fuzz(
     churn); those cases run through the supervisor's escalation ladder,
     so a slow network shows up as escalation accounting in the report
     while invariant violations stay hard failures.
+
+    ``bombs=True`` appends payload-bomb adversaries (oversize blobs,
+    deep nesting, type confusion, near-valid mutants) to every sampled
+    composition and arms the honest wire guards; any honest-party crash
+    caused by the hostile traffic surfaces as a shrinkable
+    ``HonestPartyError`` failure instead of aborting the campaign.
 
     Every run executes one sampled case under the full monitor stack;
     failures are shrunk (unless ``shrink=False``) and, when
@@ -1412,13 +1498,13 @@ def fuzz(
 
     report = FuzzReport(
         runs=runs, seed=seed, workers=worker_count, crash=crash,
-        partition=partition,
+        partition=partition, bombs=bombs,
     )
     if worker_count == 1:
         outcomes = [
             _run_campaign_case(
                 index, seed, parent_registry, shrink, max_shrink_runs,
-                crash=crash, partition=partition,
+                crash=crash, partition=partition, bombs=bombs,
             )
             for index in range(runs)
         ]
@@ -1434,6 +1520,7 @@ def fuzz(
                 "registry_builder": builder,
                 "crash": crash,
                 "partition": partition,
+                "bombs": bombs,
             }
             for index in range(runs)
         ]
@@ -1464,7 +1551,8 @@ def fuzz(
 
     for index in range(runs):
         case = sample_case_at(
-            seed, index, parent_registry, crash=crash, partition=partition
+            seed, index, parent_registry, crash=crash, partition=partition,
+            bombs=bombs,
         )
         if progress is not None:
             progress(index, case)

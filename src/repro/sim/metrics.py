@@ -66,6 +66,13 @@ class CommunicationStats:
     resync_attempts: int = 0
     #: logical rounds that needed more than one synchronization attempt.
     escalated_rounds: int = 0
+    #: hostile-payload quarantine (wire guards, PR 9): byzantine-origin
+    #: messages discarded by honest parties for violating the wire
+    #: bounds, and the (work-capped) measured size of that traffic.
+    #: Never folded into ``honest_bits`` -- rejected traffic is the
+    #: adversary's spend, not the protocol's ``BITS_l(PI)``.
+    quarantined_messages: int = 0
+    rejected_bits: int = 0
 
     def record_send(self, sender: int, channel: str, bits: int) -> None:
         """Account one honest point-to-point message of ``bits`` bits."""
@@ -104,6 +111,16 @@ class CommunicationStats:
         if escalated_round:
             self.escalated_rounds += 1
 
+    def record_quarantine(self, bits: int) -> None:
+        """Account one quarantined byzantine message of ``bits`` bits.
+
+        ``bits`` is the guard's work-capped measurement (a lower bound
+        for payloads whose walk exited early), so ``rejected_bits`` is
+        an attribution figure, not an exact wire size.
+        """
+        self.quarantined_messages += 1
+        self.rejected_bits += bits
+
     @property
     def resilience_overhead_bits(self) -> int:
         """Total link-layer bits spent restoring the lockstep abstraction."""
@@ -127,6 +144,8 @@ class CommunicationStats:
             "transport_slots": self.transport_slots,
             "resync_attempts": self.resync_attempts,
             "escalated_rounds": self.escalated_rounds,
+            "quarantined_messages": self.quarantined_messages,
+            "rejected_bits": self.rejected_bits,
         }
 
     def channel_report(self) -> list[tuple[str, int, int]]:

@@ -48,7 +48,13 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from ..errors import ConfigurationError, ProtocolViolation, SimulationError
+from ..errors import (
+    ConfigurationError,
+    HonestPartyError,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+)
 from ..perf import counters
 from .adversary import Adversary, PassiveAdversary, RoundView
 from .invariants import InvariantMonitor
@@ -58,6 +64,7 @@ from .party import Context, Outgoing, Proto
 from .recovery import CrashEvent, RecoveryConfig, RecoveryManager
 from .sizing import bit_size
 from .trace import RoundRecord
+from .wire import WireGuard, WireLimits, inbox_digest
 
 __all__ = [
     "ExecutionResult",
@@ -68,6 +75,10 @@ __all__ = [
 
 #: Builds one party's protocol generator from its context and input.
 ProtocolFactory = Callable[[Context, Any], Proto[Any]]
+
+#: Quarantine ledger entries kept per execution; the stats fields keep
+#: exact totals, the ledger keeps the first offenders for attribution.
+_QUARANTINE_LOG_CAP = 256
 
 
 def default_round_budget(n: int, t: int) -> int:
@@ -111,6 +122,13 @@ class ExecutionResult:
     #: :class:`~repro.sim.supervisor.FallbackRecord`); ``None`` on the
     #: primary path.
     fallback: Any = None
+    #: quarantine ledger (wire guards): ``(round_index, src, dst,
+    #: reason)`` for byzantine messages discarded by the inbound guard,
+    #: capped at the first 256 entries (totals live on
+    #: ``stats.quarantined_messages`` / ``stats.rejected_bits``).
+    quarantine_log: list[tuple[int, int, int, str]] = field(
+        default_factory=list
+    )
 
     @property
     def honest_parties(self) -> list[int]:
@@ -182,6 +200,7 @@ class SynchronousNetwork:
         transport: LossyTransport | None = None,
         crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
         recovery: RecoveryConfig | bool | None = None,
+        guards: WireLimits | bool | None = None,
     ) -> None:
         if isinstance(inputs, list):
             inputs = dict(enumerate(inputs))
@@ -256,6 +275,20 @@ class SynchronousNetwork:
             and self._recovery is None
             and type(self.adversary) is PassiveAdversary
         )
+        #: Inbound wire guard (hostile-payload plane).  ``True`` derives
+        #: limits from the bit envelopes at a default payload length;
+        #: pass an explicit :class:`WireLimits` (e.g. from
+        #: ``WireLimits.from_envelopes(n, t, ell, kappa)``) for
+        #: protocol-accurate bounds.  Only byzantine-origin traffic on
+        #: the general delivery path is ever checked -- honest sends and
+        #: the zero-fault fast path are untouched, so arming guards
+        #: cannot perturb honest accounting.
+        if guards is True:
+            guards = WireLimits.from_envelopes(n, t, ell=4096, kappa=kappa)
+        elif guards is False:
+            guards = None
+        self._guard = WireGuard(guards) if guards is not None else None
+        self.quarantine_log: list[tuple[int, int, int, str]] = []
         #: honest parties currently powered off (crash plane).
         self.down: set[int] = set()
         #: restart round -> parties whose WAL replays at its start.
@@ -317,6 +350,7 @@ class SynchronousNetwork:
             crash_log=list(self.crash_log),
             clipped_crashes=list(self.clipped_crashes),
             recoveries=self._recovery.recoveries if self._recovery else 0,
+            quarantine_log=list(self.quarantine_log),
         )
         for monitor in self.monitors:
             self._monitored(monitor.on_finish, result, self)
@@ -346,7 +380,9 @@ class SynchronousNetwork:
             if party not in self.corrupted
         )
 
-    def _resume(self, party: int, state: _PartyState) -> Outgoing | None:
+    def _resume(
+        self, party: int, state: _PartyState, round_index: int
+    ) -> Outgoing | None:
         """Advance one party's generator by one round; None if finished."""
         if state.finished:
             return None
@@ -360,13 +396,35 @@ class SynchronousNetwork:
             state.finished = True
             state.output = stop.value
             return None
-        except Exception:
+        except ReproError:
+            # The repo's own taxonomy (ConfigurationError, monitor
+            # violations, ...) is deliberate signalling, not a party
+            # crashed by hostile input -- let it propagate untouched.
+            raise
+        except Exception as error:
             if party in self.corrupted:
                 # A corrupted party's spec code may crash on adversarial
                 # inboxes; the adversary simply loses its spec hint.
                 state.finished = True
                 return None
-            raise
+            # The model forbids byzantine input from crashing honest
+            # code: attribute the exception to the party, the round,
+            # and a bounded digest of the inbox it was consuming, so
+            # fuzz reports separate input-validation bugs from harness
+            # bugs and budget errors.  repr()-free on purpose -- the
+            # offending payload may be arbitrarily hostile.
+            digest = inbox_digest(state.inbox)
+            summary = str(error)
+            if len(summary) > 200:
+                summary = summary[:200] + "..."
+            raise HonestPartyError(
+                f"honest party {party} raised "
+                f"{type(error).__name__} in round {round_index}: "
+                f"{summary} (inbox digest {digest})",
+                party=party,
+                round_index=round_index,
+                inbox_digest=digest,
+            ) from error
         if not isinstance(outgoing, Outgoing):
             raise SimulationError(
                 f"party {party} yielded {type(outgoing).__name__}, "
@@ -544,7 +602,7 @@ class SynchronousNetwork:
         for party, state in self._states.items():
             if party in self.down:
                 continue
-            outgoing = self._resume(party, state)
+            outgoing = self._resume(party, state, round_index)
             if outgoing is not None:
                 outgoings[party] = outgoing
         if not outgoings:
@@ -658,8 +716,25 @@ class SynchronousNetwork:
                 self.stats.record_send(src, channels[src], bits)
                 round_bits += bits
                 round_messages += 1
+        guard = self._guard
         for (src, dst), payload in byz_messages.items():
             if src in self.corrupted and 0 <= dst < self.n:
+                if guard is not None and dst not in self.corrupted:
+                    # Honest parties validate byzantine-origin traffic
+                    # before it enters their inbox; out-of-bounds
+                    # payloads are quarantined (discarded + attributed),
+                    # never raised on.  Corrupted destinations do not
+                    # validate -- that is the adversary's own code.
+                    counters.bump("guard_checks")
+                    reason, bits = guard.check(round_index, src, payload)
+                    if reason is not None:
+                        counters.bump("guard_quarantined")
+                        self.stats.record_quarantine(bits)
+                        if len(self.quarantine_log) < _QUARANTINE_LOG_CAP:
+                            self.quarantine_log.append(
+                                (round_index, src, dst, reason)
+                            )
+                        continue
                 inboxes[dst][src] = payload
                 byz_count += 1
         for party, state in self._states.items():

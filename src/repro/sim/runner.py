@@ -9,6 +9,7 @@ from .invariants import InvariantMonitor
 from .lossy import LossyTransport
 from .network import ExecutionResult, ProtocolFactory, SynchronousNetwork
 from .recovery import CrashEvent, RecoveryConfig
+from .wire import WireLimits
 
 __all__ = ["run_protocol"]
 
@@ -26,6 +27,7 @@ def run_protocol(
     transport: LossyTransport | None = None,
     crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
     recovery: RecoveryConfig | bool | None = None,
+    guards: WireLimits | bool | None = None,
 ) -> ExecutionResult:
     """Simulate one execution of ``protocol_factory`` and return the result.
 
@@ -54,6 +56,10 @@ def run_protocol(
             write-ahead logs at the restart round.
         recovery: enable (or configure) the crash-recovery plane even
             without a declarative schedule.
+        guards: wire limits for byzantine-origin traffic
+            (:class:`~repro.sim.wire.WireLimits`, or ``True`` for
+            envelope-derived defaults); quarantined payloads are
+            accounted on the stats instead of delivered.
 
     Returns:
         The :class:`~repro.sim.network.ExecutionResult` with per-party
@@ -72,5 +78,6 @@ def run_protocol(
         transport=transport,
         crashes=crashes,
         recovery=recovery,
+        guards=guards,
     )
     return network.run()

@@ -48,6 +48,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from .bombs import BOMB_CATALOG
 from .faults import FaultSpec
 from .fuzz import (
     ADVERSARY_CATALOG,
@@ -205,24 +206,40 @@ def _sample_in_cell(
     cell: SearchCell,
     crash: bool,
     partition: bool,
+    bombs: bool = False,
 ) -> FuzzCase:
-    """A fresh uniform case inside one cell (the non-guided baseline)."""
+    """A fresh uniform case inside one cell (the non-guided baseline).
+
+    Like :func:`~repro.sim.fuzz.sample_case`, the bomb draws are gated
+    on their flag and appended *after* every pre-existing draw, so
+    ``bombs=False`` campaigns plan exactly the cases they always did.
+    """
     count = rng.randint(1, 3)
     adversaries = tuple(
         rng.choice(sorted(ADVERSARY_CATALOG)) for _ in range(count)
     )
     faults = sample_faults(rng, cell.n, cell.t, crash=crash,
                            partition=partition)
+    spread = rng.choice(_SPREADS)
+    case_seed = rng.getrandbits(32)
+    guards = False
+    if bombs:
+        guards = True
+        extra = rng.randint(1, 2)
+        adversaries = adversaries + tuple(
+            rng.choice(sorted(BOMB_CATALOG)) for _ in range(extra)
+        )
     return FuzzCase(
         protocol=cell.protocol,
         n=cell.n,
         t=cell.t,
         ell=cell.ell,
         kappa=64,
-        spread=rng.choice(_SPREADS),
+        spread=spread,
         adversaries=adversaries,
         faults=faults,
-        seed=rng.getrandbits(32),
+        seed=case_seed,
+        guards=guards,
     )
 
 
@@ -231,6 +248,7 @@ def _mutate_once(
     rng: random.Random,
     crash: bool,
     partition: bool,
+    bombs: bool = False,
 ) -> FuzzCase:
     """Apply one mutation operator; the cell axes stay fixed."""
     ops = ["rate", "adversaries", "spread", "fault_seed", "case_seed"]
@@ -238,6 +256,8 @@ def _mutate_once(
         ops += ["link", "crash"]
     if partition:
         ops += ["psync"]
+    if bombs:
+        ops += ["bomb"]
     op = rng.choice(ops)
     faults = case.faults
     if op == "rate":
@@ -280,6 +300,27 @@ def _mutate_once(
         else:
             names[rng.randrange(len(names))] = rng.choice(catalog)
         return replace(case, adversaries=tuple(names))
+    elif op == "bomb":
+        # reshuffle the case's payload-bomb component: drop one, add
+        # one, or swap one for another family.  Any bomb present means
+        # the honest guards stay armed on the child.
+        names = list(case.adversaries)
+        bomb_slots = [
+            index for index, name in enumerate(names)
+            if name in BOMB_CATALOG
+        ]
+        catalog = sorted(BOMB_CATALOG)
+        move = rng.random()
+        if move < 0.3 and bomb_slots and len(names) > 1:
+            names.pop(bomb_slots[rng.randrange(len(bomb_slots))])
+        elif move < 0.6 and len(names) < 5:
+            names.append(rng.choice(catalog))
+        elif bomb_slots:
+            slot = bomb_slots[rng.randrange(len(bomb_slots))]
+            names[slot] = rng.choice(catalog)
+        else:
+            names.append(rng.choice(catalog))
+        return replace(case, adversaries=tuple(names), guards=True)
     elif op == "spread":
         return replace(case, spread=rng.choice(_SPREADS))
     elif op == "fault_seed":
@@ -294,6 +335,7 @@ def mutate_case(
     rng: random.Random,
     crash: bool = True,
     partition: bool = False,
+    bombs: bool = False,
     max_ops: int = 6,
 ) -> FuzzCase:
     """Power-scheduled mutation: a geometric number of stacked operators.
@@ -306,7 +348,7 @@ def mutate_case(
     while ops < max_ops and rng.random() < 0.5:
         ops += 1
     for _ in range(ops):
-        case = _mutate_once(case, rng, crash, partition)
+        case = _mutate_once(case, rng, crash, partition, bombs)
     return case
 
 
@@ -339,6 +381,8 @@ class SearchConfig:
     protocols: list[str] | None = None
     crash: bool = True
     partition: bool = False
+    #: sample/mutate payload-bomb adversaries (honest guards armed).
+    bombs: bool = False
     corpus_size: int = 64
     #: probability of mutating a corpus parent (vs. fresh sample) when
     #: the selected cell has corpus entries.
@@ -367,6 +411,7 @@ class SearchConfig:
             "protocols": sorted(self.protocols) if self.protocols else None,
             "crash": self.crash,
             "partition": self.partition,
+            "bombs": self.bombs,
             "corpus_size": self.corpus_size,
             "mutate_prob": self.mutate_prob,
             "max_mutation_ops": self.max_mutation_ops,
@@ -546,11 +591,13 @@ class SearchEngine:
                 rng,
                 crash=self.config.crash,
                 partition=self.config.partition,
+                bombs=self.config.bombs,
                 max_ops=self.config.max_mutation_ops,
             )
         else:
             case = _sample_in_cell(
-                rng, cell, self.config.crash, self.config.partition
+                rng, cell, self.config.crash, self.config.partition,
+                bombs=self.config.bombs,
             )
         return cell_index, case
 

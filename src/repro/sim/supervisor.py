@@ -62,6 +62,7 @@ from .lossy import LossyTransport
 from .metrics import CommunicationStats
 from .network import ExecutionResult, ProtocolFactory, SynchronousNetwork
 from .recovery import CrashEvent, RecoveryConfig
+from .wire import WireLimits
 
 __all__ = ["FallbackRecord", "run_with_fallback", "run_with_escalation"]
 
@@ -71,6 +72,7 @@ _STATS_FIELDS = (
     "retrans_bits", "retrans_messages", "ack_bits", "ack_messages",
     "transport_slots", "beacon_bits", "beacon_messages",
     "resync_attempts", "escalated_rounds",
+    "quarantined_messages", "rejected_bits",
 )
 
 
@@ -174,6 +176,7 @@ def run_with_fallback(
     transport: LossyTransport | None = None,
     crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
     recovery: RecoveryConfig | bool | None = None,
+    guards: WireLimits | bool | None = None,
     fallback_channel: str = "fallback/hc",
     fallback_factory: Callable[..., Any] | None = None,
 ) -> ExecutionResult:
@@ -205,6 +208,7 @@ def run_with_fallback(
         transport=transport,
         crashes=crashes,
         recovery=recovery,
+        guards=guards,
     )
     try:
         return primary.run()
@@ -238,6 +242,7 @@ def run_with_fallback(
         adversary=_StaticCorruptions(frozenset(primary.corrupted)),
         max_rounds=max_rounds,
         trace=trace,
+        guards=guards,
     )
     result = fallback_net.run()
     result.outputs = {
@@ -277,6 +282,7 @@ def run_with_escalation(
     transport: LossyTransport | None = None,
     crashes: Sequence[CrashEvent | tuple[int, int, int]] | None = None,
     recovery: RecoveryConfig | bool | None = None,
+    guards: WireLimits | bool | None = None,
     epsilon: Fraction | int = 1,
     fallback_channel: str = "fallback/hc",
     max_deliveries: int | None = None,
@@ -338,6 +344,7 @@ def run_with_escalation(
         transport=transport,
         crashes=crashes,
         recovery=recovery,
+        guards=guards,
     )
     try:
         return primary.run()
@@ -391,6 +398,7 @@ def run_with_escalation(
         max_rounds=max_rounds,
         trace=trace,
         transport=transport,
+        guards=guards,
     )
     try:
         result = hc_net.run()
@@ -432,6 +440,7 @@ def run_with_escalation(
         kappa=kappa,
         adversary=_PinnedAsyncCorruptions(corrupted),
         max_deliveries=max_deliveries,
+        guards=guards,
     )
     try:
         async_result = async_net.run()

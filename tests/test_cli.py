@@ -117,3 +117,43 @@ class TestAuthenticatedSetting:
 
         args = build_parser().parse_args(["run", "1", "2", "3"])
         assert args.setting == "plain"
+
+
+class TestReplayErrors:
+    def test_truncated_artifact_is_a_friendly_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"format": "repro-fuzz/1", "case": {"pro')
+        code = main(["replay", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert str(path) in err
+        assert "cannot load artifact" in err
+
+    def test_corrupt_artifact_is_a_friendly_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"format": "not-a-fuzz-artifact"}\n')
+        code = main(["replay", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert str(path) in err
+
+    def test_missing_artifact_is_exit_2(self, capsys):
+        code = main(["replay", "/no/such/artifact.json"])
+        assert code == 2
+        assert "no such artifact" in capsys.readouterr().err
+
+
+class TestBombFlags:
+    def test_fuzz_bombs_flag_parses(self):
+        args = build_parser().parse_args(["fuzz", "--runs", "3", "--bombs"])
+        assert args.bombs is True
+
+    def test_search_bombs_flag_parses(self):
+        args = build_parser().parse_args(["search", "--bombs"])
+        assert args.bombs is True
+
+    def test_bomb_campaign_runs_clean(self, capsys):
+        code = main(["fuzz", "--runs", "2", "--seed", "0", "--bombs",
+                     "--quiet"])
+        assert code == 0
+        assert "bomb plane" in capsys.readouterr().out

@@ -6,7 +6,11 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.bitstrings import BitString
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    HonestPartyError,
+    SimulationError,
+)
 from repro.sim import (
     Adversary,
     Context,
@@ -345,5 +349,10 @@ class TestAdversaryFramework:
                 raise RuntimeError("honest bug")
             return 0
 
-        with pytest.raises(RuntimeError):
+        # honest crashes surface attributed, with the original
+        # exception preserved as the cause (see docs/fault-model.md,
+        # plane 6: the no-crash meta-invariant).
+        with pytest.raises(HonestPartyError) as excinfo:
             run_protocol(fragile, [0] * 4, 4, 1)
+        assert excinfo.value.party == 0
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
