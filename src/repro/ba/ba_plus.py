@@ -29,7 +29,6 @@ from typing import Any, Callable
 from ..sim.party import Context, Proto, broadcast_round
 from .domains import (
     BIT_DOMAIN,
-    canonical_key,
     digest_domain,
     optional_digest_domain,
 )
@@ -63,30 +62,30 @@ def ba_plus(
             f"PI_BA+ input must be a {ctx.kappa}-bit value, got {v_in!r}"
         )
 
-    # Line 1: send the input to all parties.
+    # Line 1: send the input to all parties.  Validated values are raw
+    # kappa-bit ``bytes``, whose canonical order IS the bytes order, so
+    # the counting and tie-breaking below key on the values directly
+    # instead of building per-message key tuples.
     inbox = yield from broadcast_round(ctx, f"{channel}/input", v_in)
-    counts: dict[tuple, list] = {}
+    counts: dict[bytes, int] = {}
     for received in inbox.values():
         if value_domain.validate(received):
-            entry = counts.setdefault(canonical_key(received), [0, received])
-            entry[0] += 1
+            counts[received] = counts.get(received, 0) + 1
 
     # Line 2: vote for every value seen n - 2t times (at most two exist
     # when t < n/3; if byzantine equivocation somehow produced more we
     # keep the two most frequent, deterministically).
     seen = sorted(
-        (entry for entry in counts.values() if entry[0] >= ctx.pre_agreement),
-        key=lambda entry: (-entry[0], canonical_key(entry[1])),
+        (item for item in counts.items() if item[1] >= ctx.pre_agreement),
+        key=lambda item: (-item[1], item[0]),
     )[:2]
-    vote_values = sorted(
-        (entry[1] for entry in seen), key=canonical_key
-    )
+    vote_values = sorted(value for value, _ in seen)
     inbox = yield from broadcast_round(
         ctx, f"{channel}/vote", (_VOTE, *vote_values)
     )
 
     # Line 3: find the (at most two) values with n - t votes.
-    vote_counts: dict[tuple, list] = {}
+    vote_counts: dict[bytes, int] = {}
     for received in inbox.values():
         if not (
             isinstance(received, tuple)
@@ -96,25 +95,22 @@ def ba_plus(
             continue
         voted = [v for v in received[1:] if value_domain.validate(v)]
         # A well-formed vote names at most two *distinct* values.
-        distinct = []
+        distinct: list[bytes] = []
         for v in voted:
-            if all(canonical_key(v) != canonical_key(u) for u in distinct):
+            if v not in distinct:
                 distinct.append(v)
         for v in distinct[:2]:
-            entry = vote_counts.setdefault(canonical_key(v), [0, v])
-            entry[0] += 1
+            vote_counts[v] = vote_counts.get(v, 0) + 1
 
     popular = sorted(
         (
-            entry
-            for entry in vote_counts.values()
-            if entry[0] >= ctx.quorum
+            item
+            for item in vote_counts.items()
+            if item[1] >= ctx.quorum
         ),
-        key=lambda entry: (-entry[0], canonical_key(entry[1])),
+        key=lambda item: (-item[1], item[0]),
     )[:2]
-    popular_values = sorted(
-        (entry[1] for entry in popular), key=canonical_key
-    )
+    popular_values = sorted(value for value, _ in popular)
     if len(popular_values) == 2:
         a, b = popular_values
     elif len(popular_values) == 1:

@@ -52,6 +52,41 @@ def _most_frequent(
     """Most frequent value with deterministic (canonical-key) tie-break."""
     if not values:
         return None, 0
+    # Fast paths for the two ballot shapes that dominate the CA stack's
+    # BA invocations: all-int (binary/nat domains) and bottom-or-digest
+    # (the ``PI_BA+`` agreement domain).  ``canonical_key`` maps an int
+    # ``v`` to ``(1, v)``, ``None`` to ``(0,)``, and ``bytes`` to
+    # ``(2, v)``, so within those shapes the canonical order is the
+    # natural one and the key tuples need not be built.  Exact-type
+    # checks so ``bool`` ballots (an int subclass, merged with their
+    # int twins by canonical_key) keep the general path's first-seen
+    # representative semantics.
+    ints = True
+    digests = True
+    for value in values:
+        kind = type(value)
+        if kind is not int:
+            ints = False
+        if kind is not bytes and value is not None:
+            digests = False
+        if not (ints or digests):
+            break
+    else:
+        counts_fast: dict = {}
+        for value in values:
+            counts_fast[value] = counts_fast.get(value, 0) + 1
+        if ints:
+            best = max(counts_fast, key=lambda v: (counts_fast[v], v))
+        else:
+            best = max(
+                counts_fast,
+                key=lambda v: (
+                    counts_fast[v],
+                    v is not None,
+                    b"" if v is None else v,
+                ),
+            )
+        return best, counts_fast[best]
     counts: dict[tuple, list] = {}
     for value in values:
         key = canonical_key(value)

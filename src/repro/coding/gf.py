@@ -202,11 +202,23 @@ class BinaryField:
             out.append(acc)
         return out
 
+    #: cube-size ceiling (elements) below which the fully-vectorized 3D
+    #: kernel runs; above it the per-row loop keeps peak memory at one
+    #: row's working set.  2^22 int64 elements = 32 MiB of products.
+    _MATMUL_CUBE_LIMIT = 1 << 22
+
     def _matmul_numpy(self, matrix, data):
         """Table-batched kernel: the discrete logs of ``data`` are
-        looked up *once* per call (not once per matrix coefficient);
-        each output row is then one fused exp-table gather plus an XOR
-        reduction."""
+        looked up *once* per call (not once per matrix coefficient).
+
+        Small products run as one fused 3D gather --
+        ``exp[log_mat[:, :, None] + log_data[None, :, :]]`` XOR-reduced
+        over the shared ``k`` axis -- which removes the per-output-row
+        python loop entirely (the dominant call shape is many tiny
+        ``(n x k) @ (k x c)`` products per execution).  Oversized
+        products fall back to the per-row loop, bounding peak memory;
+        both shapes are byte-identical to the scalar oracle.
+        """
         exp, log = self._numpy_tables()
         data = np.asarray(data, dtype=np.int64)
         rows = len(matrix)
@@ -217,6 +229,13 @@ class BinaryField:
         mat = np.asarray(matrix, dtype=np.int64)
         data_zero = data == 0
         log_data = log[np.where(data_zero, 1, data)]
+        if rows * data.shape[0] * cols <= self._MATMUL_CUBE_LIMIT:
+            mat_zero = mat == 0
+            log_mat = log[np.where(mat_zero, 1, mat)]
+            products = exp[log_mat[:, :, None] + log_data[None, :, :]]
+            products[mat_zero[:, :, None] | data_zero[None, :, :]] = 0
+            np.bitwise_xor.reduce(products, axis=1, out=out)
+            return out
         for r in range(rows):
             row = mat[r]
             nonzero = np.flatnonzero(row)

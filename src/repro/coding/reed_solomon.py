@@ -34,7 +34,9 @@ decode from identical index tuples (the regression suite pins this).
 
 from __future__ import annotations
 
+import os
 import struct
+from collections import OrderedDict
 from functools import lru_cache
 
 try:  # numpy is an optional extra; the python backend needs none of it.
@@ -57,8 +59,32 @@ _LENGTH_HEADER_BYTES = 4
 #: ``(degree, modulus, n, k, indices)`` tuple: two codes with different
 #: parameters (or fields) frequently share index tuples and must never
 #: share inverses.
-_DECODE_MATRIX_CACHE: dict[tuple, list[list[int]]] = {}
-_DECODE_MATRIX_CACHE_MAX = 512
+#:
+#: Bounded LRU: a hit refreshes its entry, an insert at capacity evicts
+#: the least recently used one, so long multi-code soaks (fuzz
+#: campaigns rotating through many ``(n, k)`` shapes) keep their hot
+#: working set instead of the old clear-everything overflow behaviour.
+_DECODE_MATRIX_CACHE: OrderedDict[tuple, list[list[int]]] = OrderedDict()
+
+
+def _cache_cap() -> int:
+    """The cache capacity: ``REPRO_DECODE_MATRIX_CACHE_MAX`` or 512.
+
+    Read once at import (the simulator's hot loop should not pay a
+    ``getenv`` per decode); a non-positive or unparsable setting
+    disables memoization entirely, which is the memory-floor escape
+    hatch for embedded runs.
+    """
+    raw = os.environ.get("REPRO_DECODE_MATRIX_CACHE_MAX")
+    if raw is None:
+        return 512
+    try:
+        return int(raw)
+    except ValueError:
+        return 0
+
+
+_DECODE_MATRIX_CACHE_MAX = _cache_cap()
 
 
 def clear_decode_matrix_cache() -> None:
@@ -105,12 +131,17 @@ class ReedSolomonCode:
             self.k,
             indices,
         )
+        cap = _DECODE_MATRIX_CACHE_MAX
+        if cap <= 0:
+            return self._invert_submatrix(indices)
         hit = _DECODE_MATRIX_CACHE.get(key)
         if hit is None:
             hit = self._invert_submatrix(indices)
-            if len(_DECODE_MATRIX_CACHE) >= _DECODE_MATRIX_CACHE_MAX:
-                _DECODE_MATRIX_CACHE.clear()
+            if len(_DECODE_MATRIX_CACHE) >= cap:
+                _DECODE_MATRIX_CACHE.popitem(last=False)
             _DECODE_MATRIX_CACHE[key] = hit
+        else:
+            _DECODE_MATRIX_CACHE.move_to_end(key)
         return hit
 
     # -- byte <-> symbol plumbing -----------------------------------------

@@ -40,7 +40,7 @@ __all__ = [
 _LENGTH_HEADER_BYTES = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BitString(WireSized):
     """An immutable bitstring: ``length`` bits whose integer value is ``value``.
 

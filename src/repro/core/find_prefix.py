@@ -36,7 +36,7 @@ from .bitstrings import BitString, bits_fixed
 __all__ = ["PrefixResult", "find_prefix", "find_prefix_blocks"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefixResult:
     """Return value of ``FindPrefix``: ``(PREFIX*, v, v_bot)``.
 

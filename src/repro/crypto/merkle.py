@@ -22,7 +22,7 @@ Implementation notes:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..perf import config, counters
@@ -36,12 +36,17 @@ _NODE_TAG = b"\x01"
 _EMPTY_TAG = b"\x02"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MerkleWitness(WireSized):
     """Authentication path for one leaf: sibling hashes bottom-up."""
 
     index: int
     siblings: tuple[bytes, ...]
+    #: instance slot for :func:`memoized_wire_bits`; excluded from
+    #: equality/hash so the memo never perturbs witness identity.
+    _wire_bits_memo: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @memoized_wire_bits
     def wire_bits(self) -> int:

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 __all__ = ["CommunicationStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CommunicationStats:
     """Mutable accumulator of communication metrics for one execution."""
 
@@ -81,6 +81,34 @@ class CommunicationStats:
         self.bits_by_channel[channel] += bits
         self.bits_by_party[sender] += bits
         self.messages_by_channel[channel] += 1
+
+    def record_round_sends(
+        self,
+        channel: str,
+        sender_bits: list[tuple[int, int]],
+        messages: int,
+        bits: int,
+    ) -> None:
+        """Account one lockstep round's honest traffic in a single batch.
+
+        Equivalent to ``messages`` individual :meth:`record_send` calls
+        on ``channel`` -- lockstep guarantees all honest senders of one
+        round share a channel -- but with the per-message attribute
+        churn collapsed into one update.  ``sender_bits`` lists
+        ``(party, bits)`` per sender **in party order** and only for
+        parties that sent at least one priced message, so the key
+        insertion order of ``bits_by_party`` matches the per-message
+        path exactly (dict equality in determinism suites compares
+        content, but goldens serialised from these dicts preserve
+        order).
+        """
+        self.honest_bits += bits
+        self.honest_messages += messages
+        self.bits_by_channel[channel] += bits
+        self.messages_by_channel[channel] += messages
+        bits_by_party = self.bits_by_party
+        for sender, sent in sender_bits:
+            bits_by_party[sender] += sent
 
     def record_round(self) -> None:
         """Account one simulated round (or async scheduler step)."""

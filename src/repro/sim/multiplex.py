@@ -1,0 +1,232 @@
+"""Cooperative multiplexing of independent protocol executions.
+
+The throughput-bound shape of this repository's workloads is *many
+small executions*, not one big one: benchmark grids, fuzz campaigns and
+exhaustive small-``n`` enumerations dispatch thousands of instances
+whose individual runtimes are dominated by per-call overhead (network
+construction, pool IPC, result assembly).  Process pools amortise none
+of that -- they only overlap it.
+
+This module adds the orthogonal axis: a :class:`MultiplexScheduler`
+steps ``K`` independent :class:`~repro.sim.network.SynchronousNetwork`
+executions *round-by-round in one interpreter loop*, using the
+network's ``begin()``/``step()``/``finish()`` stepping API.  Because
+each network's evolution is a pure function of its own state, the
+round-robin interleaving is invisible to the executions themselves:
+per-instance results, stats, traces and counters are byte-identical to
+a serial ``run()`` per instance (the determinism suite in
+``tests/test_multiplex.py`` proves it).
+
+Integration is via :func:`repro.sim.parallel.run_many`'s ``multiplex``
+parameter.  A case function opts in by declaring an *opener* with the
+:func:`multiplexable` decorator::
+
+    def open_measurement(params):
+        network = SynchronousNetwork(...)     # build, do not run
+        def finalize(result):
+            return Measurement(...)           # what fn(params) returns
+        return network, finalize
+
+    @multiplexable(open_measurement)
+    def measure_case(params):
+        ...
+
+The contract: ``finalize(network.run())`` must equal ``fn(payload)``
+for every payload.  Functions without an opener (e.g. fuzz campaign
+workers, whose cases each manage several executions internally) fall
+back to batch-sequential execution, which is trivially identical to
+the non-multiplexed path.
+
+Scheduling accounting rides on the deterministic counters
+(``sched_instances`` / ``sched_rounds`` / ``sched_resumes``, see
+:mod:`repro.perf.counters`); they are bumped by the network itself, so
+serial and multiplexed drivers produce identical totals.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .network import SynchronousNetwork
+from .parallel import CaseOutcome
+
+__all__ = [
+    "Opener",
+    "MultiplexScheduler",
+    "multiplexable",
+    "opener_of",
+    "run_multiplexed",
+]
+
+#: Builds one instance from a case payload: returns the *unstarted*
+#: network plus the finalizer mapping its ``ExecutionResult`` to the
+#: value the case function would have returned.
+Opener = Callable[[Any], tuple[SynchronousNetwork, Callable[[Any], Any]]]
+
+
+def multiplexable(opener: Opener) -> Callable:
+    """Attach ``opener`` to a case function, making it multiplexable.
+
+    The opener must be module-level (the decorated function still
+    pickles by qualified name -- the attribute travels with it), and
+    must satisfy ``finalize(network.run()) == fn(payload)``.
+    """
+
+    def decorate(fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        fn._multiplex_opener = opener
+        return fn
+
+    return decorate
+
+
+def opener_of(fn: Callable[[Any], Any]) -> Opener | None:
+    """The opener declared via :func:`multiplexable`, or ``None``."""
+    return getattr(fn, "_multiplex_opener", None)
+
+
+@dataclass(slots=True)
+class _Instance:
+    """One live execution inside a multiplexed batch."""
+
+    index: int
+    network: SynchronousNetwork
+    finalize: Callable[[Any], Any]
+    start: float
+
+
+def _failure(index: int, exc: Exception, start: float) -> CaseOutcome:
+    """A failed outcome formatted exactly like ``parallel._run_one``'s."""
+    tail = traceback.format_exc(limit=4)
+    return CaseOutcome(
+        index=index,
+        error=f"{type(exc).__name__}: {exc}\n{tail}",
+        error_type=type(exc).__name__,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+class MultiplexScheduler:
+    """Round-robin scheduler over a batch of independent executions.
+
+    Each sweep resumes every live instance for exactly one scheduler
+    step (in case-index order, so the interleaving itself is
+    deterministic); an instance whose ``step()`` reports completion is
+    finalized immediately and leaves the rotation.  An instance that
+    raises -- protocol exception, round-budget
+    :class:`~repro.errors.SimulationError`, honest-party crash -- is
+    captured as a failed :class:`~repro.sim.parallel.CaseOutcome`
+    without disturbing its batch-mates.
+
+    Timeouts are cooperative: the batch shares a budget of
+    ``timeout_s * len(batch)`` seconds, checked between sweeps, and
+    instances still live at the deadline are recorded as
+    ``CaseTimeout`` outcomes.  Those are *transient* in the
+    :func:`~repro.sim.parallel.run_many` sense, so the engine's retry
+    passes re-run them singly under the precise per-case alarm guard.
+    """
+
+    def __init__(
+        self,
+        opener: Opener,
+        cases: Sequence[tuple[int, Any]],
+        timeout_s: float | None = None,
+    ) -> None:
+        self.opener = opener
+        self.cases = list(cases)
+        self.timeout_s = timeout_s
+
+    def run(self) -> list[CaseOutcome]:
+        """Execute the batch; one outcome per case, in index order."""
+        deadline = None
+        if self.timeout_s is not None:
+            deadline = (
+                time.perf_counter()
+                + self.timeout_s * max(1, len(self.cases))
+            )
+        done: list[CaseOutcome] = []
+        live: list[_Instance] = []
+        for index, payload in self.cases:
+            start = time.perf_counter()
+            try:
+                network, finalize = self.opener(payload)
+                network.begin()
+            except Exception as exc:
+                done.append(_failure(index, exc, start))
+                continue
+            live.append(_Instance(index, network, finalize, start))
+
+        while live:
+            survivors: list[_Instance] = []
+            for instance in live:
+                network = instance.network
+                try:
+                    if network.step():
+                        survivors.append(instance)
+                        continue
+                    result = network.finish()
+                    # Same contract as ``run()``: wall time rides on the
+                    # stats object on every exit path.  Multiplexed wall
+                    # time spans the shared loop, which is why wall_s is
+                    # excluded from every determinism comparison.
+                    network.stats.wall_s = (
+                        time.perf_counter() - instance.start
+                    )
+                    value = instance.finalize(result)
+                    done.append(
+                        CaseOutcome(
+                            index=instance.index,
+                            value=value,
+                            elapsed_s=(
+                                time.perf_counter() - instance.start
+                            ),
+                        )
+                    )
+                except Exception as exc:
+                    network.stats.wall_s = (
+                        time.perf_counter() - instance.start
+                    )
+                    done.append(
+                        _failure(instance.index, exc, instance.start)
+                    )
+            live = survivors
+            if deadline is not None and live:
+                if time.perf_counter() > deadline:
+                    now = time.perf_counter()
+                    for instance in live:
+                        done.append(
+                            CaseOutcome(
+                                index=instance.index,
+                                error=(
+                                    "case timed out after "
+                                    f"{self.timeout_s}s"
+                                ),
+                                error_type="CaseTimeout",
+                                elapsed_s=now - instance.start,
+                            )
+                        )
+                    live = []
+        done.sort(key=lambda outcome: outcome.index)
+        return done
+
+
+def run_multiplexed(
+    fn: Callable[[Any], Any],
+    cases: Sequence[tuple[int, Any]],
+    timeout_s: float | None = None,
+) -> list[CaseOutcome]:
+    """Run ``(index, payload)`` cases of a multiplexable ``fn`` as one batch.
+
+    Raises :class:`ValueError` when ``fn`` declared no opener -- the
+    caller (:func:`repro.sim.parallel.run_many`) is expected to fall
+    back to sequential execution instead of reaching this point.
+    """
+    opener = opener_of(fn)
+    if opener is None:
+        raise ValueError(
+            f"{getattr(fn, '__name__', fn)!r} is not multiplexable: "
+            "no opener declared via @multiplexable"
+        )
+    return MultiplexScheduler(opener, cases, timeout_s=timeout_s).run()

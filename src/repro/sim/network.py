@@ -80,6 +80,10 @@ ProtocolFactory = Callable[[Context, Any], Proto[Any]]
 #: exact totals, the ledger keeps the first offenders for attribution.
 _QUARANTINE_LOG_CAP = 256
 
+#: Sentinel for the fast path's payload-sizing memo: distinct from every
+#: real payload (including ``None``, the protocols' bottom symbol).
+_NO_PAYLOAD = object()
+
 
 def default_round_budget(n: int, t: int) -> int:
     """Round budget derived from the theoretical round complexities.
@@ -174,7 +178,7 @@ class ExecutionResult:
         return value
 
 
-@dataclass
+@dataclass(slots=True)
 class _PartyState:
     generator: Proto[Any]
     finished: bool = False
@@ -305,27 +309,68 @@ class SynchronousNetwork:
             ctx = Context(party_id=party, n=n, t=t, kappa=kappa)
             gen = protocol_factory(ctx, self.inputs[party])
             self._states[party] = _PartyState(generator=gen)
+        #: next round the scheduler will attempt (stepping API state).
+        self._next_round = 0
+        #: "plain run": fast path with no trace and no monitors armed --
+        #: the per-round hook dispatch and RoundRecord assembly are
+        #: skipped entirely and inbox dicts come from the arena.
+        self._plain = False
+        #: two alternating banks of per-party inbox dicts (plain runs
+        #: only).  The dicts delivered in round ``r`` are reused in
+        #: round ``r + 2``: every protocol consumes its inbox between
+        #: consecutive yields, so the bank being refilled is always two
+        #: rounds stale and never aliased by a live generator.
+        self._arena: tuple[dict[int, dict[int, Any]], ...] | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         """Execute until every honest party has terminated."""
         started = time.perf_counter()
         try:
-            return self._run()
+            self.begin()
+            while self.step():
+                pass
+            return self.finish()
         finally:
             # Wall time rides on the stats object so every exit path --
             # normal completion, SimulationError with partial state,
             # monitor violations -- carries its timing.
             self.stats.wall_s = time.perf_counter() - started
 
-    def _run(self) -> ExecutionResult:
+    # -- stepping API ---------------------------------------------------
+    # ``run()`` is ``begin(); while step(): pass; finish()``.  The
+    # decomposition exists so :class:`repro.sim.multiplex
+    # .MultiplexScheduler` can interleave many executions round-by-round
+    # in one interpreter loop; both drivers produce byte-identical
+    # executions because each network's evolution is a pure function of
+    # its own state.
+
+    def begin(self) -> None:
+        """Arm one execution: monitors, plain-run flag, inbox arena."""
+        self._next_round = 0
+        self._plain = (
+            self._fast_path and self.trace is None and not self.monitors
+        )
+        if self._plain:
+            states = self._states
+            self._arena = (
+                {party: {} for party in states},
+                {party: {} for party in states},
+            )
+        counters.bump("sched_instances")
         for monitor in self.monitors:
             monitor.on_start(self)
-        for round_index in range(self.max_rounds):
-            if self._all_honest_finished():
-                break
-            self._run_round(round_index)
-        else:
+
+    def step(self) -> bool:
+        """Run one scheduler iteration; ``False`` once execution is done.
+
+        Replicates the classic ``for round_index in range(max_rounds)``
+        loop exactly: the round budget is checked before the
+        finished-check, so an execution that exhausts its budget raises
+        the same :class:`SimulationError` the serial loop raised.
+        """
+        round_index = self._next_round
+        if round_index >= self.max_rounds:
             raise SimulationError(
                 f"protocol did not terminate within {self.max_rounds} "
                 "rounds",
@@ -333,6 +378,15 @@ class SynchronousNetwork:
                 stats=self.stats,
                 outputs=self._partial_outputs(),
             )
+        if self._all_honest_finished():
+            return False
+        self._run_round(round_index)
+        self._next_round = round_index + 1
+        counters.bump("sched_rounds")
+        return True
+
+    def finish(self) -> ExecutionResult:
+        """Assemble the result once :meth:`step` has returned ``False``."""
         outputs = {
             party: state.output
             for party, state in self._states.items()
@@ -516,51 +570,88 @@ class SynchronousNetwork:
         scan sees identical dicts.  Stats, counters, channel trace, and
         (when requested) the :class:`RoundRecord` are byte-identical;
         only the per-link dict churn and the RoundView are skipped.
+
+        On a plain run the inbox dicts come from the two-bank arena
+        (cleared and refilled instead of freshly allocated); with a
+        trace or monitors armed every round gets fresh dicts, since a
+        tracing consumer may legitimately retain them.
         """
         n = self.n
         stats = self.stats
         corrupted = self.corrupted
-        inboxes: dict[int, dict[int, Any]] = {
-            party: {} for party in self._states
-        }
+        states = self._states
+        if self._plain:
+            # Bank r%2 was delivered in round r-2 and has been consumed
+            # (every protocol reads its inbox before its next yield).
+            inboxes = self._arena[round_index & 1]
+            for inbox in inboxes.values():
+                inbox.clear()
+        else:
+            inboxes = {party: {} for party in states}
+        # List-indexed view of the inbox dicts: party ids are dense
+        # 0..n-1, and a C-level list index beats a dict hash on the
+        # innermost (per-message) loop.
+        inbox_rows = [inboxes[party] for party in range(n)]
         round_bits = 0
         round_messages = 0
         byz_count = 0
+        sender_bits: list[tuple[int, int]] = []
         for party, out in outgoings.items():
-            if party in corrupted:
+            if corrupted and party in corrupted:
                 continue
-            channel = out.channel
             # A broadcast reuses one payload object for every
             # destination; sizing it once per object is exact (bit_size
-            # is pure) and skips the dominant per-message cost.
-            payload_bits: dict[int, int] = {}
+            # is pure) and skips the dominant per-message cost.  The
+            # one-object memo covers the broadcast shape; bundles with
+            # several distinct payloads (e.g. ``distribute``) price
+            # each object as before.  Seeded with a private sentinel:
+            # ``None`` is a real payload (the protocols' bottom symbol,
+            # priced at 1 bit) and must not match an empty memo.
+            memo_obj = _NO_PAYLOAD
+            memo_bits = 0
+            party_sent = 0
+            party_messages = 0
             for dst, payload in out.messages.items():
                 if not 0 <= dst < n:
                     continue
-                inboxes[dst][party] = payload
+                inbox_rows[dst][party] = payload
                 if dst != party:
-                    key = id(payload)
-                    bits = payload_bits.get(key)
-                    if bits is None:
+                    if payload is memo_obj:
+                        bits = memo_bits
+                    else:
                         bits = bit_size(payload)
-                        payload_bits[key] = bits
-                    stats.record_send(party, channel, bits)
-                    round_bits += bits
-                    round_messages += 1
-        for party, out in outgoings.items():
-            if party not in corrupted:
-                continue
-            for dst, payload in out.messages.items():
-                if 0 <= dst < n:
-                    inboxes[dst][party] = payload
-                    byz_count += 1
-        for party, state in self._states.items():
+                        memo_obj = payload
+                        memo_bits = bits
+                    party_sent += bits
+                    party_messages += 1
+            if party_messages:
+                sender_bits.append((party, party_sent))
+                round_bits += party_sent
+                round_messages += party_messages
+        if corrupted:
+            for party, out in outgoings.items():
+                if party not in corrupted:
+                    continue
+                for dst, payload in out.messages.items():
+                    if 0 <= dst < n:
+                        inboxes[dst][party] = payload
+                        byz_count += 1
+        for party, state in states.items():
             state.inbox = inboxes[party]
+        if sender_bits:
+            # Post lockstep check every honest sender shares one
+            # channel, so the whole round batches into one update.
+            stats.record_round_sends(
+                next(iter(honest_channels)),
+                sender_bits,
+                round_messages,
+                round_bits,
+            )
         stats.record_round()
         counters.bump("net_rounds")
         counters.bump("net_messages", round_messages + byz_count)
 
-        if self.trace is None and not self.monitors:
+        if self._plain or (self.trace is None and not self.monitors):
             return
         record = RoundRecord(
             round_index=round_index,
@@ -598,13 +689,22 @@ class SynchronousNetwork:
                 self._accept_crashes(declared, round_index)
 
         # 1. Resume every running generator (down parties stay frozen).
+        # The finished/down guards are hoisted out of ``_resume`` so a
+        # long-finished party costs one attribute read, not a call, and
+        # the resume count lands in ``sched_resumes`` as one batched
+        # bump per round (actual generator touches only).
         outgoings: dict[int, Outgoing] = {}
+        down = self.down
+        resumes = 0
         for party, state in self._states.items():
-            if party in self.down:
+            if state.finished or (down and party in down):
                 continue
+            resumes += 1
             outgoing = self._resume(party, state, round_index)
             if outgoing is not None:
                 outgoings[party] = outgoing
+        if resumes:
+            counters.bump("sched_resumes", resumes)
         if not outgoings:
             # Every generator terminated while consuming last round's
             # inbox -- no network round takes place.

@@ -38,15 +38,19 @@ T = TypeVar("T")
 Proto = Generator["Outgoing", dict[int, Any], T]
 
 
-@dataclass
+@dataclass(slots=True)
 class Outgoing:
-    """One party's outgoing traffic for one synchronous round."""
+    """One party's outgoing traffic for one synchronous round.
+
+    ``slots=True``: one ``Outgoing`` is allocated per party per round,
+    so the per-instance ``__dict__`` was pure scheduler overhead.
+    """
 
     channel: str
     messages: dict[int, Any] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Context:
     """Immutable per-party view of the protocol parameters.
 
@@ -127,6 +131,7 @@ def broadcast_round(
     ctx: Context, channel: str, payload: Any
 ) -> Proto[dict[int, Any]]:
     """Send ``payload`` to all n parties (self included) for one round."""
-    messages = {dest: payload for dest in ctx.all_parties}
+    # fromkeys builds the bundle at C speed; same keys, same order.
+    messages = dict.fromkeys(ctx.all_parties, payload)
     inbox = yield Outgoing(channel=channel, messages=messages)
     return inbox

@@ -34,6 +34,10 @@ __all__ = ["bit_size", "WireSized", "memoized_wire_bits"]
 class WireSized:
     """Mixin for objects that know their own wire size in bits."""
 
+    # Empty __slots__ so slotted message dataclasses inheriting this
+    # mixin do not silently regain a per-instance __dict__.
+    __slots__ = ()
+
     def wire_bits(self) -> int:
         """This object's compact wire size in bits."""
         raise NotImplementedError
@@ -48,11 +52,21 @@ def memoized_wire_bits(compute: Callable[[Any], int]) -> Callable[[Any], int]:
     one computation per object; being instance-scoped it is inherently
     execution-scoped (messages are built fresh per party per run) and
     cannot change the value, only how often it is recomputed.
+
+    Works on both ``__dict__``-backed and ``slots=True`` dataclasses;
+    a slotted message type must declare the memo slot itself::
+
+        _wire_bits_memo: int | None = field(
+            default=None, init=False, repr=False, compare=False
+        )
+
+    (``compare=False`` keeps equality and hashing on the payload
+    fields only, so the memo never perturbs message identity.)
     """
 
     @wraps(compute)
     def wire_bits(self) -> int:
-        cached = self.__dict__.get("_wire_bits_memo")
+        cached = getattr(self, "_wire_bits_memo", None)
         if cached is None:
             cached = compute(self)
             object.__setattr__(self, "_wire_bits_memo", cached)
@@ -63,6 +77,17 @@ def memoized_wire_bits(compute: Callable[[Any], int]) -> Callable[[Any], int]:
 
 def bit_size(payload: Any) -> int:
     """Return the number of bits a compact encoding of ``payload`` uses."""
+    # Exact-type dispatch for the two payload shapes that dominate the
+    # scheduler's pricing loop (ints and tuples); ``bool`` is an ``int``
+    # subclass, so ``type(...) is int`` cannot misprice it, and every
+    # other type falls through to the readable isinstance chain below.
+    kind = type(payload)
+    if kind is int:
+        if payload >= 0:
+            return payload.bit_length() or 1
+        return payload.bit_length() + 1
+    if kind is tuple:
+        return sum(bit_size(item) for item in payload)
     if payload is None:
         return 1
     if isinstance(payload, bool):

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 __all__ = ["RoundRecord", "summarize_trace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundRecord:
     """What happened in one synchronous round."""
 

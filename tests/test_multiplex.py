@@ -1,0 +1,308 @@
+"""The cooperative instance scheduler (``repro.sim.multiplex``).
+
+Three contracts under test:
+
+1. **Determinism**: ``run_many(..., multiplex=K)`` is byte-identical to
+   a serial run -- per-instance measurements, fuzz reports, and the
+   deterministic counters (including the ``sched_*`` family) all match,
+   in-process and across pool workers.
+2. **Arena/fast-path parity**: with the plain-run flag armed (fast
+   path, no trace, no monitors) the reused arena inboxes deliver the
+   exact insertion order the general path builds from fresh dicts, over
+   an ``(n, t)`` grid and under every installed kernel backend.
+3. **Isolation**: one instance of a multiplexed batch failing, raising,
+   or exhausting the cooperative time budget never disturbs its
+   batch-mates, and non-multiplexable case functions silently keep the
+   sequential path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.experiments import (
+    make_inputs,
+    measure_case,
+    open_measurement,
+)
+from repro.core.fixed_length import fixed_length_ca
+from repro.perf import config, counters
+from repro.sim.fuzz import fuzz
+from repro.sim.multiplex import (
+    MultiplexScheduler,
+    multiplexable,
+    opener_of,
+    run_multiplexed,
+)
+from repro.sim.network import SynchronousNetwork
+from repro.sim.parallel import run_many
+from repro.sim.party import Outgoing, broadcast_round
+from repro.sim.runner import run_protocol
+
+GRID = [(4, 1), (7, 2), (10, 3)]
+
+
+def _jobs(count: int) -> list[dict]:
+    """A mixed n in {4, 7} fleet of measure_case payloads."""
+    shapes = [(4, 1), (7, 2)]
+    return [
+        dict(
+            protocol="fixed_length_ca",
+            n=shapes[seed % 2][0],
+            t=shapes[seed % 2][1],
+            ell=48,
+            seed=seed,
+            spread="clustered",
+        )
+        for seed in range(count)
+    ]
+
+
+# -- determinism -----------------------------------------------------------
+
+
+def test_multiplex_matches_serial_values_and_counters():
+    jobs = _jobs(10)
+    config.reset_process_caches()
+    counters.reset()
+    serial = [o.value for o in run_many(measure_case, jobs)]
+    serial_counts = counters.snapshot()
+    config.reset_process_caches()
+    counters.reset()
+    # 4 does not divide 10: the trailing partial batch is exercised too.
+    muxed = [o.value for o in run_many(measure_case, jobs, multiplex=4)]
+    mux_counts = counters.snapshot()
+    assert serial == muxed
+    assert serial_counts == mux_counts
+    assert mux_counts["sched_instances"] == len(jobs)
+
+
+def test_multiplex_composes_with_pool_workers():
+    jobs = _jobs(6)
+    serial = [o.value for o in run_many(measure_case, jobs)]
+    pooled = [
+        o.value
+        for o in run_many(measure_case, jobs, workers=2, multiplex=3)
+    ]
+    assert serial == pooled
+
+
+def test_fuzz_campaign_multiplexed_matches_serial():
+    serial = fuzz(runs=50, seed=3, workers=1, shrink=False)
+    muxed = fuzz(runs=50, seed=3, workers=2, multiplex=8, shrink=False)
+    assert [c.to_dict() for c in serial.cases] == [
+        c.to_dict() for c in muxed.cases
+    ]
+    assert len(serial.failures) == len(muxed.failures)
+    assert serial.clean == muxed.clean
+
+
+def test_measure_case_declares_its_opener():
+    assert opener_of(measure_case) is open_measurement
+
+
+def test_opener_contract_matches_direct_call():
+    params = dict(
+        protocol="fixed_length_ca", n=4, t=1, ell=32, seed=5,
+        spread="spread",
+    )
+    network, finalize = open_measurement(dict(params))
+    assert isinstance(network, SynchronousNetwork)
+    assert finalize(network.run()) == measure_case(dict(params))
+
+
+# -- scheduler counters ----------------------------------------------------
+
+
+def test_sched_counters_account_one_execution():
+    inputs = make_inputs(4, 32, seed=1)
+    with counters.capture() as counts:
+        run_protocol(
+            lambda ctx, v: fixed_length_ca(ctx, v, 32), inputs, n=4, t=1
+        )
+    assert counts["sched_instances"] == 1
+    # Every executed round is one scheduler step; net_rounds only
+    # counts rounds with actual traffic, so sched_rounds bounds it.
+    assert counts["sched_rounds"] >= counts["net_rounds"] > 0
+    # Resumes are per-party per-round, minus finished/down parties.
+    assert counts["sched_resumes"] >= counts["sched_rounds"]
+
+
+def test_sched_counters_identical_serial_vs_multiplexed():
+    jobs = _jobs(4)
+    config.reset_process_caches()
+    counters.reset()
+    run_many(measure_case, jobs)
+    serial = {
+        k: v for k, v in counters.snapshot().items()
+        if k.startswith("sched_")
+    }
+    config.reset_process_caches()
+    counters.reset()
+    run_many(measure_case, jobs, multiplex=len(jobs))
+    muxed = {
+        k: v for k, v in counters.snapshot().items()
+        if k.startswith("sched_")
+    }
+    assert serial == muxed
+    assert serial["sched_instances"] == len(jobs)
+
+
+# -- arena / fast-path parity ---------------------------------------------
+
+
+def _order_probe(ctx, v):
+    """Record the exact inbox key order for a few rounds."""
+    orders = []
+    for _ in range(4):
+        inbox = yield from broadcast_round(ctx, "probe", (v, ctx.party_id))
+        orders.append(tuple(inbox))
+    return tuple(orders)
+
+
+@pytest.mark.parametrize("n,t", GRID)
+@pytest.mark.parametrize("backend", config.available_backends())
+def test_arena_inbox_order_matches_general_path(backend, n, t):
+    """Plain runs (arena inboxes) vs the WAL-forced general path."""
+    with config.use_backend(backend):
+        inputs = list(range(n))
+        fast = run_protocol(_order_probe, inputs, n=n, t=t)
+        slow = run_protocol(_order_probe, inputs, n=n, t=t, recovery=True)
+    # The outputs ARE the observed insertion orders, per party per round.
+    assert fast.outputs == slow.outputs
+    assert dataclasses.replace(
+        fast.stats, wall_s=0.0
+    ) == dataclasses.replace(slow.stats, wall_s=0.0)
+
+
+@pytest.mark.parametrize("n,t", GRID)
+@pytest.mark.parametrize("backend", config.available_backends())
+def test_plain_run_matches_general_path_full_protocol(backend, n, t):
+    with config.use_backend(backend):
+        inputs = make_inputs(n, 96, seed=3, spread="spread")
+
+        def factory(ctx, v):
+            return fixed_length_ca(ctx, v, 96)
+
+        fast = run_protocol(factory, inputs, n=n, t=t)
+        slow = run_protocol(factory, inputs, n=n, t=t, recovery=True)
+    assert fast.outputs == slow.outputs
+    assert fast.channel_trace == slow.channel_trace
+    assert dataclasses.replace(
+        fast.stats, wall_s=0.0
+    ) == dataclasses.replace(slow.stats, wall_s=0.0)
+
+
+def test_arena_active_only_on_plain_runs():
+    def factory(ctx, v):
+        return fixed_length_ca(ctx, v, 16)
+
+    inputs = make_inputs(4, 16, seed=0)
+    plain = SynchronousNetwork(factory, inputs, n=4, t=1)
+    plain.begin()
+    assert plain._plain and plain._arena is not None
+    traced = SynchronousNetwork(factory, inputs, n=4, t=1, trace=True)
+    traced.begin()
+    assert not traced._plain and traced._arena is None
+
+
+# -- isolation and fallback ------------------------------------------------
+
+
+def _fragile_case(payload: dict):
+    raise AssertionError("sequential path should not be taken here")
+
+
+def _fragile_opener(payload: dict):
+    def proto(ctx, v):
+        if v == 13 and ctx.party_id == 0:
+            raise ValueError("boom")
+        yield Outgoing(channel="one", messages={})
+        return v
+
+    inputs = [payload["value"]] * 3
+    network = SynchronousNetwork(proto, inputs, n=3, t=0)
+    return network, lambda result: sorted(result.outputs.values())
+
+
+_fragile_case = multiplexable(_fragile_opener)(_fragile_case)
+
+
+def test_one_failing_instance_does_not_disturb_batch_mates():
+    payloads = [{"value": v} for v in (11, 13, 12)]
+    outcomes = run_multiplexed(_fragile_case, list(enumerate(payloads)))
+    assert [o.index for o in outcomes] == [0, 1, 2]
+    assert outcomes[0].ok and outcomes[0].value == [11, 11, 11]
+    assert outcomes[2].ok and outcomes[2].value == [12, 12, 12]
+    failed = outcomes[1]
+    assert not failed.ok
+    assert failed.error_type == "HonestPartyError"
+    assert "boom" in failed.error
+
+
+def test_cooperative_timeout_marks_survivors_transient():
+    def spin_opener(payload):
+        def proto(ctx, v):
+            while True:
+                yield Outgoing(channel="spin", messages={})
+
+        network = SynchronousNetwork(
+            proto, [0, 0, 0], n=3, t=0, max_rounds=10**9
+        )
+        return network, lambda result: result
+
+    @multiplexable(spin_opener)
+    def spin_case(payload):
+        raise AssertionError("unused")
+
+    outcomes = run_multiplexed(
+        spin_case, [(0, {}), (1, {})], timeout_s=0.02
+    )
+    assert len(outcomes) == 2
+    assert all(o.error_type == "CaseTimeout" for o in outcomes)
+    assert all(o.transient for o in outcomes)
+
+
+def test_non_multiplexable_fn_falls_back_to_sequential():
+    def double(payload):
+        return payload * 2
+
+    outcomes = run_many(double, [1, 2, 3], multiplex=8)
+    assert [o.value for o in outcomes] == [2, 4, 6]
+    with pytest.raises(ValueError, match="not multiplexable"):
+        run_multiplexed(double, [(0, 1)])
+
+
+def test_run_many_rejects_bad_multiplex():
+    with pytest.raises(ValueError, match="multiplex"):
+        run_many(measure_case, _jobs(2), multiplex=0)
+
+
+def test_scheduler_interleaves_in_index_order():
+    """Step order is deterministic: instance 0 steps before instance 1."""
+    log: list[tuple[int, int]] = []
+
+    def probe_opener(payload):
+        idx = payload["idx"]
+
+        def proto(ctx, v):
+            for step in range(3):
+                log.append((idx, step))
+                yield Outgoing(channel="probe", messages={})
+            return idx
+
+        network = SynchronousNetwork(proto, [0], n=1, t=0)
+        return network, lambda result: result.outputs[0]
+
+    @multiplexable(probe_opener)
+    def probe_case(payload):
+        raise AssertionError("unused")
+
+    cases = [(i, {"idx": i}) for i in range(3)]
+    outcomes = MultiplexScheduler(probe_opener, cases).run()
+    assert [o.value for o in outcomes] == [0, 1, 2]
+    # Sweeps visit instances round-robin in index order.
+    assert log[:3] == [(0, 0), (1, 0), (2, 0)]
+    assert log[3:6] == [(0, 1), (1, 1), (2, 1)]
